@@ -1,0 +1,43 @@
+// Command reversecloak-bench regenerates every evaluation artifact: the
+// experiment tables E5..E13 indexed in DESIGN.md, over the deterministic
+// synthetic Atlanta workload. Results for the committed default seed are
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/reversecloak/reversecloak/internal/bench"
+)
+
+func main() {
+	var (
+		seedStr   = flag.String("seed", "reversecloak-bench-seed-2017-001", "experiment seed")
+		junctions = flag.Int("junctions", 0, "network junctions (default quarter-scale Atlanta)")
+		segments  = flag.Int("segments", 0, "network segments")
+		cars      = flag.Int("cars", 0, "workload size (default ~1.09/segment)")
+		trials    = flag.Int("trials", 0, "trials per table cell (default 15)")
+		fullE10   = flag.Bool("full-e10", false, "run E10 at the paper's full 6979/9187/10000 scale")
+		paper     = flag.Bool("paper-scale", false, "run EVERYTHING at full Atlanta scale (slow)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Seed:      []byte(*seedStr),
+		Junctions: *junctions,
+		Segments:  *segments,
+		Cars:      *cars,
+		Trials:    *trials,
+	}
+	if *paper {
+		opts.Junctions = 6979
+		opts.Segments = 9187
+		opts.Cars = 10000
+	}
+	if err := bench.RunAll(os.Stdout, opts, *fullE10 || *paper); err != nil {
+		fmt.Fprintln(os.Stderr, "reversecloak-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,269 @@
+package anonymizer
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/mapgen"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// startServer builds a server over a grid with RGE and RPLE engines and
+// starts it on a loopback port.
+func startServer(t *testing.T) (*Server, string, *cloak.Engine) {
+	t.Helper()
+	g, err := mapgen.Grid(10, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := func(roadnet.SegmentID) int { return 2 }
+	rge, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := cloak.NewPreassignment(g, cloak.DefaultTransitionListLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rple, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RPLE, Pre: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(map[cloak.Algorithm]*cloak.Engine{
+		cloak.RGE:  rge,
+		cloak.RPLE: rple,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, addr.String(), rge
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func testProfile() profile.Profile {
+	return profile.Profile{Levels: []profile.Level{
+		{K: 6, L: 3},
+		{K: 14, L: 6},
+	}}
+}
+
+func TestPing(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestAnonymizeAndFetch(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	c := dial(t, addr)
+
+	id, region, err := c.Anonymize(42, testProfile(), "RGE")
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if id == "" || region == nil {
+		t.Fatal("missing id or region")
+	}
+	if !region.Contains(42) {
+		t.Error("region must contain user segment")
+	}
+	if srv.Registrations() != 1 {
+		t.Errorf("registrations = %d", srv.Registrations())
+	}
+
+	got, levels, err := c.GetRegion(id)
+	if err != nil {
+		t.Fatalf("GetRegion: %v", err)
+	}
+	if levels != 2 {
+		t.Errorf("levels = %d, want 2", levels)
+	}
+	if len(got.Segments) != len(region.Segments) {
+		t.Error("fetched region differs")
+	}
+}
+
+// TestEndToEndKeyFlow exercises the full toolkit story: anonymize on the
+// server, grant trust, fetch keys as a requester and de-anonymize locally.
+func TestEndToEndKeyFlow(t *testing.T) {
+	_, addr, rge := startServer(t)
+	owner := dial(t, addr)
+
+	id, region, err := owner.Anonymize(33, testProfile(), "RGE")
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if err := owner.SetTrust(id, "doctor", 0); err != nil {
+		t.Fatalf("SetTrust: %v", err)
+	}
+	if err := owner.SetTrust(id, "dispatcher", 1); err != nil {
+		t.Fatalf("SetTrust: %v", err)
+	}
+
+	requester := dial(t, addr)
+
+	// The doctor gets all keys and recovers the exact segment.
+	keysDoctor, err := requester.RequestKeys(id, "doctor")
+	if err != nil {
+		t.Fatalf("RequestKeys(doctor): %v", err)
+	}
+	if len(keysDoctor) != 2 {
+		t.Fatalf("doctor got %d keys, want 2", len(keysDoctor))
+	}
+	l0, err := rge.Deanonymize(region, keysDoctor, 0)
+	if err != nil {
+		t.Fatalf("doctor dean: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != 33 {
+		t.Errorf("doctor recovered %v, want [33]", l0.Segments)
+	}
+
+	// The dispatcher gets only the level-2 key and reaches level 1.
+	keysDisp, err := requester.RequestKeys(id, "dispatcher")
+	if err != nil {
+		t.Fatalf("RequestKeys(dispatcher): %v", err)
+	}
+	if len(keysDisp) != 1 {
+		t.Fatalf("dispatcher got %d keys, want 1", len(keysDisp))
+	}
+	l1, err := rge.Deanonymize(region, keysDisp, 1)
+	if err != nil {
+		t.Fatalf("dispatcher dean: %v", err)
+	}
+	if len(l1.Segments) >= len(region.Segments) || !l1.Contains(33) {
+		t.Errorf("dispatcher region = %v", l1.Segments)
+	}
+
+	// A stranger gets nothing.
+	keysNone, err := requester.RequestKeys(id, "stranger")
+	if err != nil {
+		t.Fatalf("RequestKeys(stranger): %v", err)
+	}
+	if len(keysNone) != 0 {
+		t.Errorf("stranger got %d keys, want 0", len(keysNone))
+	}
+}
+
+func TestRPLEOverTheWire(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr)
+	_, region, err := c.Anonymize(55, testProfile(), "RPLE")
+	if err != nil {
+		t.Fatalf("Anonymize RPLE: %v", err)
+	}
+	if region.Algorithm != cloak.RPLE {
+		t.Errorf("algorithm = %v", region.Algorithm)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr)
+
+	if _, _, err := c.GetRegion("nope"); !errors.Is(err, ErrRemote) {
+		t.Errorf("unknown region err = %v", err)
+	}
+	if err := c.SetTrust("nope", "x", 0); !errors.Is(err, ErrRemote) {
+		t.Errorf("unknown region trust err = %v", err)
+	}
+	if _, _, err := c.Anonymize(42, testProfile(), "QUANTUM"); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad algorithm err = %v", err)
+	}
+	if _, _, err := c.Anonymize(9999, testProfile(), "RGE"); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad segment err = %v", err)
+	}
+	bad := profile.Profile{Levels: []profile.Level{{K: 0, L: 0}}}
+	if _, _, err := c.Anonymize(42, bad, "RGE"); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad profile err = %v", err)
+	}
+	id, _, err := c.Anonymize(42, testProfile(), "RGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTrust(id, "", 0); !errors.Is(err, ErrRemote) {
+		t.Errorf("missing requester err = %v", err)
+	}
+	if err := c.SetTrust(id, "x", 99); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad level err = %v", err)
+	}
+	if _, err := c.RequestKeys(id, ""); !errors.Is(err, ErrRemote) {
+		t.Errorf("missing requester keys err = %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, _ := startServer(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer func() { _ = c.Close() }()
+			user := roadnet.SegmentID(10 + n*5)
+			id, _, err := c.Anonymize(user, testProfile(), "RGE")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, _, err := c.GetRegion(id); err != nil {
+				errCh <- err
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil && !strings.Contains(err.Error(), "cloaking failed") {
+			t.Errorf("client error: %v", err)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv, _, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); !errors.Is(err, ErrBadOp) {
+		t.Errorf("no engines err = %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a dead port should fail")
+	}
+}

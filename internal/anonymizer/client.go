@@ -1,0 +1,142 @@
+package anonymizer
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// Errors returned by the client.
+var (
+	// ErrRemote wraps an error reported by the server.
+	ErrRemote = errors.New("anonymizer: remote error")
+)
+
+// Client talks to a Server. It serializes calls; one Client may be shared
+// across goroutines.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("anonymizer: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("anonymizer: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("anonymizer: receive: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// Anonymize requests a cloak for the user's segment under the profile and
+// algorithm ("RGE" or "RPLE"). The server generates and retains the keys;
+// the returned registration ID scopes later key requests.
+func (c *Client) Anonymize(
+	user roadnet.SegmentID,
+	prof profile.Profile,
+	algorithm string,
+) (string, *cloak.CloakedRegion, error) {
+	resp, err := c.roundTrip(&Request{
+		Op:          OpAnonymize,
+		UserSegment: user,
+		Profile:     &prof,
+		Algorithm:   algorithm,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if resp.Region == nil {
+		return "", nil, fmt.Errorf("%w: response without region", ErrRemote)
+	}
+	return resp.RegionID, resp.Region, nil
+}
+
+// GetRegion fetches the public region of a registration.
+func (c *Client) GetRegion(regionID string) (*cloak.CloakedRegion, int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpGetRegion, RegionID: regionID})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Region == nil {
+		return nil, 0, fmt.Errorf("%w: response without region", ErrRemote)
+	}
+	return resp.Region, resp.Levels, nil
+}
+
+// SetTrust entitles a requester to reduce the region down to toLevel
+// (owner-side operation).
+func (c *Client) SetTrust(regionID, requester string, toLevel int) error {
+	_, err := c.roundTrip(&Request{
+		Op:        OpSetTrust,
+		RegionID:  regionID,
+		Requester: requester,
+		ToLevel:   toLevel,
+	})
+	return err
+}
+
+// RequestKeys fetches the keys the requester is entitled to, decoded into
+// the level->key map that cloak.Engine.Deanonymize consumes.
+func (c *Client) RequestKeys(regionID, requester string) (map[int][]byte, error) {
+	resp, err := c.roundTrip(&Request{
+		Op:        OpRequestKeys,
+		RegionID:  regionID,
+		Requester: requester,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]byte, len(resp.Keys))
+	for lv, encKey := range resp.Keys {
+		raw, err := hex.DecodeString(encKey)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad key encoding for level %d", ErrRemote, lv)
+		}
+		out[lv] = raw
+	}
+	return out, nil
+}

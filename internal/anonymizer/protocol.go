@@ -1,0 +1,66 @@
+// Package anonymizer implements the trusted anonymization server of the
+// ReverseCloak toolkit and its client: "the 'Anonymizer' sends the
+// parameters and access keys to a trusted anonymization server and
+// visualizes the results". The server holds the road network and live user
+// densities, performs cloaking, stores each registration's keys, and
+// answers key requests according to the data owner's personal
+// access-control profile. De-anonymization itself runs client-side: data
+// requesters fetch the region and their granted keys, then peel levels
+// locally.
+//
+// The wire protocol is newline-delimited JSON over TCP, one request and one
+// response per line.
+package anonymizer
+
+import (
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// Op names the protocol operations.
+type Op string
+
+// Protocol operations.
+const (
+	// OpPing checks liveness.
+	OpPing Op = "ping"
+	// OpAnonymize registers a cloaking request: the server generates the
+	// per-level keys, cloaks, stores the registration and returns the
+	// public region.
+	OpAnonymize Op = "anonymize"
+	// OpGetRegion fetches the public cloaked region of a registration (the
+	// LBS provider's view).
+	OpGetRegion Op = "get_region"
+	// OpSetTrust updates the owner's access-control profile for one
+	// requester.
+	OpSetTrust Op = "set_trust"
+	// OpRequestKeys asks for the keys a requester is entitled to.
+	OpRequestKeys Op = "request_keys"
+)
+
+// Request is one protocol request.
+type Request struct {
+	Op Op `json:"op"`
+	// Anonymize.
+	UserSegment roadnet.SegmentID `json:"user_segment,omitempty"`
+	Profile     *profile.Profile  `json:"profile,omitempty"`
+	Algorithm   string            `json:"algorithm,omitempty"` // "RGE" or "RPLE"
+	// Region-scoped operations.
+	RegionID string `json:"region_id,omitempty"`
+	// Access control.
+	Requester string `json:"requester,omitempty"`
+	ToLevel   int    `json:"to_level,omitempty"`
+}
+
+// Response is one protocol response.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Anonymize / GetRegion.
+	RegionID string               `json:"region_id,omitempty"`
+	Region   *cloak.CloakedRegion `json:"region,omitempty"`
+	Levels   int                  `json:"levels,omitempty"`
+	// RequestKeys: hex-encoded keys by level index.
+	Keys map[int]string `json:"keys,omitempty"`
+}

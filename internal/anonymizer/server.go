@@ -1,0 +1,274 @@
+package anonymizer
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
+)
+
+// Errors returned by the server.
+var (
+	// ErrServerClosed reports use of a closed server.
+	ErrServerClosed = errors.New("anonymizer: server closed")
+	// ErrUnknownRegion reports an unregistered region ID.
+	ErrUnknownRegion = errors.New("anonymizer: unknown region")
+	// ErrBadOp reports an unsupported operation.
+	ErrBadOp = errors.New("anonymizer: bad operation")
+)
+
+// registration holds the server-side secret state of one cloaked location.
+type registration struct {
+	region *cloak.CloakedRegion
+	keySet *keys.Set
+	policy *accessctl.Policy
+}
+
+// Server is the trusted anonymization server. Create with NewServer, start
+// with Start, stop with Close.
+type Server struct {
+	engines map[cloak.Algorithm]*cloak.Engine
+
+	mu     sync.Mutex
+	store  map[string]*registration
+	nextID int
+	ln     net.Listener
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds a server with one engine per supported algorithm.
+// Engines must share the same graph.
+func NewServer(engines map[cloak.Algorithm]*cloak.Engine) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("%w: no engines", ErrBadOp)
+	}
+	return &Server{
+		engines: engines,
+		store:   make(map[string]*registration),
+	}, nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("anonymizer: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return nil, ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handleConn serves one connection: a sequence of JSON request lines.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or garbage: drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request.
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpAnonymize:
+		return s.handleAnonymize(req)
+	case OpGetRegion:
+		return s.handleGetRegion(req)
+	case OpSetTrust:
+		return s.handleSetTrust(req)
+	case OpRequestKeys:
+		return s.handleRequestKeys(req)
+	default:
+		return fail(fmt.Errorf("%w: %q", ErrBadOp, req.Op))
+	}
+}
+
+// fail wraps an error into a response.
+func fail(err error) *Response { return &Response{OK: false, Error: err.Error()} }
+
+// handleAnonymize generates keys, cloaks and registers the result.
+func (s *Server) handleAnonymize(req *Request) *Response {
+	if req.Profile == nil {
+		return fail(fmt.Errorf("%w: missing profile", ErrBadOp))
+	}
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return fail(err)
+	}
+	engine, ok := s.engines[algo]
+	if !ok {
+		return fail(fmt.Errorf("%w: algorithm %v not enabled", ErrBadOp, algo))
+	}
+	levels := len(req.Profile.Levels)
+	if levels == 0 {
+		return fail(fmt.Errorf("%w: empty profile", ErrBadOp))
+	}
+	keySet, err := keys.AutoGenerate(levels)
+	if err != nil {
+		return fail(fmt.Errorf("anonymizer: key generation: %w", err))
+	}
+	region, _, err := engine.Anonymize(cloak.Request{
+		UserSegment: req.UserSegment,
+		Profile:     *req.Profile,
+		Keys:        keySet.All(),
+	})
+	if err != nil {
+		return fail(err)
+	}
+	policy, err := accessctl.NewPolicy(levels, levels)
+	if err != nil {
+		return fail(err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fail(ErrServerClosed)
+	}
+	s.nextID++
+	id := fmt.Sprintf("r%d", s.nextID)
+	s.store[id] = &registration{region: region, keySet: keySet, policy: policy}
+	s.mu.Unlock()
+	return &Response{OK: true, RegionID: id, Region: region, Levels: levels}
+}
+
+// handleGetRegion returns the public region.
+func (s *Server) handleGetRegion(req *Request) *Response {
+	reg, err := s.lookup(req.RegionID)
+	if err != nil {
+		return fail(err)
+	}
+	return &Response{OK: true, RegionID: req.RegionID,
+		Region: reg.region.Clone(), Levels: reg.keySet.Levels()}
+}
+
+// handleSetTrust updates the owner's policy.
+func (s *Server) handleSetTrust(req *Request) *Response {
+	reg, err := s.lookup(req.RegionID)
+	if err != nil {
+		return fail(err)
+	}
+	if req.Requester == "" {
+		return fail(fmt.Errorf("%w: missing requester", ErrBadOp))
+	}
+	if err := reg.policy.SetTrust(req.Requester, req.ToLevel); err != nil {
+		return fail(err)
+	}
+	return &Response{OK: true}
+}
+
+// handleRequestKeys grants keys per the policy.
+func (s *Server) handleRequestKeys(req *Request) *Response {
+	reg, err := s.lookup(req.RegionID)
+	if err != nil {
+		return fail(err)
+	}
+	if req.Requester == "" {
+		return fail(fmt.Errorf("%w: missing requester", ErrBadOp))
+	}
+	grant, err := reg.policy.KeysFor(req.Requester, reg.keySet)
+	if err != nil {
+		return fail(err)
+	}
+	enc := make(map[int]string, len(grant))
+	for lv, k := range grant {
+		enc[lv] = hex.EncodeToString(k)
+	}
+	return &Response{OK: true, Keys: enc}
+}
+
+// lookup resolves a region ID.
+func (s *Server) lookup(id string) (*registration, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.store[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+	}
+	return reg, nil
+}
+
+// parseAlgorithm maps the wire name to the algorithm; empty means RGE.
+func parseAlgorithm(name string) (cloak.Algorithm, error) {
+	switch name {
+	case "", "RGE", "rge":
+		return cloak.RGE, nil
+	case "RPLE", "rple":
+		return cloak.RPLE, nil
+	default:
+		return 0, fmt.Errorf("%w: algorithm %q", ErrBadOp, name)
+	}
+}
+
+// Registrations returns the number of stored registrations (for tests and
+// the toolkit status display).
+func (s *Server) Registrations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.store)
+}

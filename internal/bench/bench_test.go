@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func seed() []byte { return []byte("bench-test-seed-0123456789abcdef") }
+
+// smallOpts keeps harness tests fast.
+func smallOpts() Options {
+	return Options{
+		Seed:      seed(),
+		Junctions: 300,
+		Segments:  395,
+		Cars:      430,
+		Trials:    4,
+	}
+}
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(smallOpts())
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func TestNewEnvDefaults(t *testing.T) {
+	if _, err := NewEnv(Options{}); err == nil {
+		t.Error("missing seed must fail")
+	}
+	env := testEnv(t)
+	if env.G.NumJunctions() != 300 || env.G.NumSegments() != 395 {
+		t.Errorf("env sized %d/%d", env.G.NumJunctions(), env.G.NumSegments())
+	}
+	if env.Sim.NumCars() != 430 {
+		t.Errorf("cars = %d", env.Sim.NumCars())
+	}
+	if env.PreBuildTime <= 0 {
+		t.Error("preassignment build time missing")
+	}
+	if env.Engine(0) != env.RGE || env.Engine(2) != env.RPLE {
+		t.Error("Engine dispatch wrong")
+	}
+}
+
+func TestSampleUsersDeterministic(t *testing.T) {
+	env := testEnv(t)
+	a := env.SampleUsers(5, "x")
+	b := env.SampleUsers(5, "x")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("samples must be deterministic per label")
+		}
+	}
+	c := env.SampleUsers(5, "y")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different labels should sample differently")
+	}
+}
+
+// TestExperimentsProduceTables runs every experiment at a tiny scale and
+// checks each yields a non-empty table.
+func TestExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	env := testEnv(t)
+	for _, ex := range Experiments(false) {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tab, err := ex.Run(env)
+			if err != nil {
+				t.Fatalf("%s: %v", ex.ID, err)
+			}
+			out := tab.String()
+			if len(out) < 40 {
+				t.Errorf("%s produced suspiciously small output:\n%s", ex.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAllStreamsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	opts := smallOpts()
+	opts.Trials = 3
+	if err := RunAll(&buf, opts, false); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		if !strings.Contains(out, "["+id+" completed") {
+			t.Errorf("missing experiment %s in output", id)
+		}
+	}
+}
+
+func TestUniformProfileShape(t *testing.T) {
+	p := uniformProfile(3, 12)
+	if len(p.Levels) != 3 {
+		t.Fatalf("levels = %d", len(p.Levels))
+	}
+	if p.Levels[0].K != 12 || p.Levels[1].K != 24 || p.Levels[2].K != 48 {
+		t.Errorf("k progression wrong: %+v", p.Levels)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("profile invalid: %v", err)
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	env := testEnv(t)
+	ks := env.keysFor("t", 3)
+	if len(ks) != 3 {
+		t.Fatalf("keys = %d", len(ks))
+	}
+	km := keyMap(ks)
+	if len(km) != 3 || km[1] == nil || km[3] == nil {
+		t.Errorf("keyMap = %v", km)
+	}
+	// Deterministic.
+	ks2 := env.keysFor("t", 3)
+	if string(ks[0]) != string(ks2[0]) {
+		t.Error("keysFor must be deterministic")
+	}
+}

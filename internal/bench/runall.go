@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonMarshal is indirected for testability.
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(*Env) (fmt.Stringer, error)
+}
+
+// Experiments lists the harness experiments in order. E1-E4 are golden
+// tests and CLI demos (see DESIGN.md); the measured experiments start at
+// E5. fullScaleE10 switches E10 to the paper's full 6979/9187/10000 setup.
+func Experiments(fullScaleE10 bool) []Experiment {
+	return []Experiment{
+		{"E5", "anonymization time & memory (RGE vs RPLE)", wrap(E5TimeMemory)},
+		{"E6", "cost vs number of levels", wrap(E6Levels)},
+		{"E7", "de-anonymization cost", wrap(E7Deanonymization)},
+		{"E8", "effect of delta_k", wrap(E8KSweep)},
+		{"E9", "effect of sigma_s", wrap(E9Tolerance)},
+		{"E10", "workload substrate", func(e *Env) (fmt.Stringer, error) {
+			return E10Workload(e, fullScaleE10)
+		}},
+		{"E11", "keyless adversary", wrap(E11Adversary)},
+		{"E12", "query QoS by level", wrap(E12QueryQoS)},
+		{"E13", "baseline comparison", wrap(E13Baselines)},
+		{"E14", "ablation: tags vs search", wrap(E14TagAblation)},
+		{"E15", "ablation: RPLE list length", wrap(E15ListLengthAblation)},
+	}
+}
+
+// wrap adapts the concrete experiment signatures.
+func wrap[T fmt.Stringer](f func(*Env) (T, error)) func(*Env) (fmt.Stringer, error) {
+	return func(e *Env) (fmt.Stringer, error) {
+		return f(e)
+	}
+}
+
+// RunAll executes every experiment and streams the tables to w.
+func RunAll(w io.Writer, opts Options, fullScaleE10 bool) error {
+	start := time.Now()
+	env, err := NewEnv(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "environment: %d junctions, %d segments, %d cars, %d trials/cell (built in %s)\n\n",
+		env.G.NumJunctions(), env.G.NumSegments(), env.Sim.NumCars(),
+		env.Opts.Trials, time.Since(start).Round(time.Millisecond))
+	for _, ex := range Experiments(fullScaleE10) {
+		t0 := time.Now()
+		tab, err := ex.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", ex.ID, ex.Name, err)
+		}
+		fmt.Fprintln(w, tab.String())
+		fmt.Fprintf(w, "[%s completed in %s]\n\n", ex.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}

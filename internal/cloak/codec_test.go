@@ -1,0 +1,78 @@
+package cloak
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/profile"
+)
+
+// TestCloakedRegionJSONRoundTrip pins the published wire format: the
+// anonymizer and de-anonymizer CLIs exchange regions as JSON files, so the
+// region must survive serialization exactly — including tags.
+func TestCloakedRegionJSONRoundTrip(t *testing.T) {
+	e := newTestEngine(t, RGE, 10, 10, constDensity(2))
+	ks := testKeys(3)
+	cr, _, err := e.Anonymize(Request{UserSegment: 42, Profile: testProfile(), Keys: ks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back CloakedRegion
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Algorithm != cr.Algorithm || len(back.Segments) != len(cr.Segments) ||
+		len(back.Levels) != len(cr.Levels) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range cr.Segments {
+		if back.Segments[i] != cr.Segments[i] {
+			t.Fatal("segments differ after round trip")
+		}
+	}
+	// And the deserialized region still de-anonymizes.
+	keyMap := map[int][]byte{1: ks[0], 2: ks[1], 3: ks[2]}
+	l0, err := e.Deanonymize(&back, keyMap, 0)
+	if err != nil {
+		t.Fatalf("dean after round trip: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != 42 {
+		t.Errorf("L0 = %v", l0.Segments)
+	}
+}
+
+// TestTaggedRegionJSONRoundTrip does the same for a tag-mode region.
+func TestTaggedRegionJSONRoundTrip(t *testing.T) {
+	e := newTestEngine(t, RGE, 14, 14, constDensity(1))
+	ks := testKeys(1)
+	prof := profile.Profile{Levels: []profile.Level{{K: 120, L: 120}}}
+	cr, _, err := e.Anonymize(Request{UserSegment: 180, Profile: prof, Keys: ks})
+	if err != nil {
+		t.Skipf("large cloak infeasible: %v", err)
+	}
+	if cr.Levels[0].Tags == nil {
+		t.Skip("no tags for this region")
+	}
+	raw, err := json.Marshal(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CloakedRegion
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Levels[0].Tags) != len(cr.Levels[0].Tags) {
+		t.Fatal("tags lost in round trip")
+	}
+	l0, err := e.Deanonymize(&back, map[int][]byte{1: ks[0]}, 0)
+	if err != nil {
+		t.Fatalf("dean after round trip: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != 180 {
+		t.Errorf("L0 = %v", l0.Segments)
+	}
+}

@@ -1,0 +1,322 @@
+package cloak
+
+import (
+	"fmt"
+
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Algorithm selects RGE or RPLE.
+	Algorithm Algorithm
+	// Pre is the pre-assigned transition tables; required for RPLE, ignored
+	// for RGE.
+	Pre *Preassignment
+	// MaxRetries bounds the per-level salt retries used for collision
+	// avoidance. Defaults to 32.
+	MaxRetries int
+	// MaxSteps bounds the segments added per level. Defaults to 4096.
+	MaxSteps int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 32
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 4096
+	}
+	return o
+}
+
+// Request is one anonymization request from a mobile client: the segment
+// containing the user, the multi-level privacy profile and one secret key
+// per level.
+type Request struct {
+	UserSegment roadnet.SegmentID
+	Profile     profile.Profile
+	// Keys holds Key_1 .. Key_{N-1} in level order; len(Keys) must equal
+	// len(Profile.Levels).
+	Keys [][]byte
+}
+
+// Trace is the anonymizer-side audit record of one cloaking run. It
+// contains the secret insertion order and must never be published; it
+// exists for verification, testing and the benchmark harness.
+type Trace struct {
+	// LevelSeqs[i] is the insertion-ordered list of segments added for
+	// level L^(i+1).
+	LevelSeqs [][]roadnet.SegmentID
+	// StartHeads[i] is the head (last previously added segment) when level
+	// L^(i+1) began expanding.
+	StartHeads []roadnet.SegmentID
+	// Salts[i] is the accepted retry salt per level.
+	Salts []uint32
+	// UsersCovered[i] is the user count covered after level L^(i+1).
+	UsersCovered []int
+}
+
+// Engine anonymizes and de-anonymizes locations over one road network.
+// An Engine is safe for concurrent use: all state is per-call.
+type Engine struct {
+	g       *roadnet.Graph
+	density DensityFunc
+	opts    Options
+}
+
+// NewEngine validates the configuration and returns an engine.
+// density may be nil only for engines used exclusively to de-anonymize.
+func NewEngine(g *roadnet.Graph, density DensityFunc, opts Options) (*Engine, error) {
+	if g == nil || g.NumSegments() == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrBadRequest)
+	}
+	switch opts.Algorithm {
+	case RGE:
+	case RPLE:
+		if opts.Pre == nil {
+			return nil, fmt.Errorf("%w: RPLE requires a preassignment", ErrBadRequest)
+		}
+		if opts.Pre.NumSegments() != g.NumSegments() {
+			return nil, fmt.Errorf("%w: preassignment covers %d segments, graph has %d",
+				ErrBadRequest, opts.Pre.NumSegments(), g.NumSegments())
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadRequest, int(opts.Algorithm))
+	}
+	return &Engine{g: g, density: density, opts: opts.withDefaults()}, nil
+}
+
+// Graph returns the engine's road network.
+func (e *Engine) Graph() *roadnet.Graph { return e.g }
+
+// newStepper builds the per-(level, salt) stepper.
+func (e *Engine) newStepper(key []byte, level int, salt uint32) stepper {
+	if e.opts.Algorithm == RPLE {
+		return newRPLEStepper(e.opts.Pre, key, level, salt)
+	}
+	return newRGEStepper(key, level, salt)
+}
+
+// Anonymize transforms the user's segment into a multi-level cloaked
+// region. For each level it expands under the level key, then verifies by
+// running the de-anonymizer's search that the level reverses to exactly the
+// state it grew from; if reversal is ambiguous the level is re-expanded
+// under the next salt ("links rebuilt ... to avoid collisions"). The salt
+// is public metadata.
+func (e *Engine) Anonymize(req Request) (*CloakedRegion, *Trace, error) {
+	if err := e.validateRequest(req); err != nil {
+		return nil, nil, err
+	}
+
+	members := []roadnet.SegmentID{req.UserSegment}
+	head := req.UserSegment
+	tr := &Trace{}
+	metas := make([]LevelMeta, 0, len(req.Profile.Levels))
+
+	for li, lv := range req.Profile.Levels {
+		level := li + 1
+		key := req.Keys[li]
+		accepted := false
+		for salt := uint32(0); int(salt) < e.opts.MaxRetries; salt++ {
+			seq, ok := e.expandLevel(members, head, lv, key, level, salt)
+			if !ok {
+				continue
+			}
+			post := append(append([]roadnet.SegmentID(nil), members...), seq...)
+			meta := LevelMeta{Steps: len(seq), Salt: salt, SigmaS: lv.SigmaS}
+			if !e.levelReverses(post, seq, head, key, level, meta) {
+				// Tagless reversal is ambiguous or over budget for this
+				// region shape: publish keyed disambiguation tags instead
+				// ("links ... rebuilt on the fly to avoid collisions").
+				meta.Tags = makeTags(key, level, salt, seq)
+				if !e.levelReverses(post, seq, head, key, level, meta) {
+					continue // freak tag collision: another salt fixes it
+				}
+			}
+			members = post
+			if len(seq) > 0 {
+				tr.StartHeads = append(tr.StartHeads, head)
+				head = seq[len(seq)-1]
+			} else {
+				tr.StartHeads = append(tr.StartHeads, head)
+			}
+			tr.LevelSeqs = append(tr.LevelSeqs, seq)
+			tr.Salts = append(tr.Salts, salt)
+			tr.UsersCovered = append(tr.UsersCovered, e.usersOf(members))
+			metas = append(metas, meta)
+			accepted = true
+			break
+		}
+		if !accepted {
+			return nil, nil, fmt.Errorf("%w: level %d (k=%d, l=%d, sigma=%.0f) not satisfiable within %d retries",
+				ErrCloakFailed, level, lv.K, lv.L, lv.SigmaS, e.opts.MaxRetries)
+		}
+	}
+
+	segs := append([]roadnet.SegmentID(nil), members...)
+	sortIDs(segs)
+	return &CloakedRegion{
+		Algorithm: e.opts.Algorithm,
+		Segments:  segs,
+		Levels:    metas,
+	}, tr, nil
+}
+
+// validateRequest rejects malformed requests.
+func (e *Engine) validateRequest(req Request) error {
+	if e.density == nil {
+		return fmt.Errorf("%w: engine has no density source", ErrBadRequest)
+	}
+	if !e.g.HasSegment(req.UserSegment) {
+		return fmt.Errorf("%w: unknown user segment %d", ErrBadRequest, req.UserSegment)
+	}
+	if err := req.Profile.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if len(req.Keys) != len(req.Profile.Levels) {
+		return fmt.Errorf("%w: %d keys for %d levels", ErrBadRequest,
+			len(req.Keys), len(req.Profile.Levels))
+	}
+	for i, k := range req.Keys {
+		if len(k) == 0 {
+			return fmt.Errorf("%w: empty key for level %d", ErrBadRequest, i+1)
+		}
+	}
+	return nil
+}
+
+// usersOf sums density over a segment list.
+func (e *Engine) usersOf(members []roadnet.SegmentID) int {
+	var n int
+	for _, id := range members {
+		n += e.density(id)
+	}
+	return n
+}
+
+// expandLevel grows the region from `members` (head `head`) until the level
+// requirement is met, returning the insertion sequence. ok=false reports a
+// stuck expansion (no eligible candidate, or step budget exhausted).
+func (e *Engine) expandLevel(
+	members []roadnet.SegmentID,
+	head roadnet.SegmentID,
+	lv profile.Level,
+	key []byte,
+	level int,
+	salt uint32,
+) ([]roadnet.SegmentID, bool) {
+	st := newState(e.g, members, e.density)
+	st.sigma = lv.SigmaS
+	stp := e.newStepper(key, level, salt)
+
+	seq := make([]roadnet.SegmentID, 0, 8)
+	for t := 0; !(st.users >= lv.K && st.size() >= lv.L); t++ {
+		if t >= e.opts.MaxSteps {
+			return nil, false
+		}
+		next, ok := stp.forward(st, head, uint64(t))
+		if !ok {
+			return nil, false
+		}
+		st.add(next)
+		seq = append(seq, next)
+		head = next
+	}
+	return seq, true
+}
+
+// levelReverses runs the de-anonymizer's unconstrained search on the
+// expanded region and accepts only if it deterministically recovers exactly
+// the true chain: the removal order must be the reverse of seq and (in
+// search mode) the recovered start head must match. This is the
+// collision-avoidance step.
+func (e *Engine) levelReverses(
+	post, seq []roadnet.SegmentID,
+	head roadnet.SegmentID,
+	key []byte,
+	level int,
+	meta LevelMeta,
+) bool {
+	rr, err := reverseLevel(e.g, e.opts.Algorithm, e.opts.Pre, post, meta,
+		key, level, roadnet.InvalidSegment)
+	if err != nil {
+		return false
+	}
+	if len(rr.removed) != len(seq) {
+		return false
+	}
+	for i, id := range rr.removed {
+		if id != seq[len(seq)-1-i] {
+			return false
+		}
+	}
+	if meta.Tags == nil && len(seq) > 0 && rr.startHead != head {
+		return false
+	}
+	return true
+}
+
+// makeTags derives the per-step disambiguation tags for a level's
+// insertion sequence.
+func makeTags(key []byte, level int, salt uint32, seq []roadnet.SegmentID) [][]byte {
+	tags := make([][]byte, len(seq))
+	for i, s := range seq {
+		tags[i] = stepTag(key, level, salt, i+1, s)
+	}
+	return tags
+}
+
+// Deanonymize reduces a cloaked region from its current privacy level down
+// to toLevel using the supplied per-level keys (keyed by level index). The
+// engine must be configured with the same algorithm (and, for RPLE, the
+// same preassignment) as the anonymizer. toLevel = 0 recovers the user's
+// own segment.
+func (e *Engine) Deanonymize(
+	cr *CloakedRegion,
+	levelKeys map[int][]byte,
+	toLevel int,
+) (*CloakedRegion, error) {
+	if cr == nil {
+		return nil, fmt.Errorf("%w: nil region", ErrBadRegion)
+	}
+	if err := cr.validate(e.g); err != nil {
+		return nil, err
+	}
+	if cr.Algorithm != e.opts.Algorithm {
+		return nil, fmt.Errorf("%w: region uses %v, engine configured for %v",
+			ErrBadRequest, cr.Algorithm, e.opts.Algorithm)
+	}
+	cur := cr.PrivacyLevel()
+	if toLevel < 0 || toLevel > cur {
+		return nil, fmt.Errorf("%w: cannot reduce level-%d region to level %d",
+			ErrBadRequest, cur, toLevel)
+	}
+
+	members := append([]roadnet.SegmentID(nil), cr.Segments...)
+	hint := roadnet.InvalidSegment
+	out := cr.Clone()
+	for lv := cur; lv > toLevel; lv-- {
+		meta := out.Levels[lv-1]
+		key, ok := levelKeys[lv]
+		if !ok || len(key) == 0 {
+			return nil, fmt.Errorf("%w: level %d", ErrMissingKey, lv)
+		}
+		rr, err := reverseLevel(e.g, cr.Algorithm, e.opts.Pre, members, meta,
+			key, lv, hint)
+		if err != nil {
+			return nil, fmt.Errorf("%w: level %d: %v", ErrIrreversible, lv, err)
+		}
+		members = rr.preMembers
+		if meta.Steps > 0 {
+			hint = rr.startHead // InvalidSegment after tag-mode levels
+		}
+		out.Levels = out.Levels[:lv-1]
+	}
+	segs := append([]roadnet.SegmentID(nil), members...)
+	sortIDs(segs)
+	out.Segments = segs
+	return out, nil
+}

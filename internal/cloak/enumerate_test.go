@@ -1,0 +1,106 @@
+package cloak
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// TestEnumerateWithTrueKeyFindsTruth verifies the enumeration contains the
+// true chain (first, by the engine's collision-avoidance guarantee).
+func TestEnumerateWithTrueKeyFindsTruth(t *testing.T) {
+	e := newTestEngine(t, RGE, 10, 10, constDensity(1))
+	prof := profile.Profile{Levels: []profile.Level{{K: 8, L: 8}}}
+	ks := testKeys(1)
+	cr, tr, err := e.Anonymize(Request{UserSegment: 42, Profile: prof, Keys: ks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := EnumerateReversals(e.Graph(), RGE, nil, cr.Segments,
+		cr.Levels[0].Steps, ks[0], 1, cr.Levels[0].Salt, 0, 1)
+	if err != nil {
+		t.Fatalf("EnumerateReversals: %v", err)
+	}
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(chains))
+	}
+	seq := tr.LevelSeqs[0]
+	for i, id := range chains[0] {
+		if id != seq[len(seq)-1-i] {
+			t.Fatalf("chain %v does not match true sequence %v", chains[0], seq)
+		}
+	}
+}
+
+// TestEnumerateWithWrongKeyAmbiguous quantifies the privacy property: a
+// wrong key either yields no consistent chain or several — and when it
+// yields chains, they are not reliably the true one.
+func TestEnumerateWithWrongKeyAmbiguous(t *testing.T) {
+	e := newTestEngine(t, RGE, 10, 10, constDensity(1))
+	prof := profile.Profile{Levels: []profile.Level{{K: 10, L: 10}}}
+	ks := testKeys(1)
+	matchedTruth := 0
+	trials := 0
+	for user := 3; user < 120; user += 9 {
+		cr, tr, err := e.Anonymize(Request{UserSegment: roadnet.SegmentID(user), Profile: prof, Keys: ks})
+		if errors.Is(err, ErrCloakFailed) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		chains, err := EnumerateReversals(e.Graph(), RGE, nil, cr.Segments,
+			cr.Levels[0].Steps, seed(200), 1, cr.Levels[0].Salt, 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chains) == 0 {
+			continue // inconsistent everywhere: perfect
+		}
+		seq := tr.LevelSeqs[0]
+		for _, chain := range chains {
+			match := true
+			for i, id := range chain {
+				if id != seq[len(seq)-1-i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				matchedTruth++
+				break
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no trials")
+	}
+	if matchedTruth > trials/3 {
+		t.Errorf("wrong key matched the true chain in %d/%d trials", matchedTruth, trials)
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	e := newTestEngine(t, RGE, 5, 5, constDensity(1))
+	region := []roadnet.SegmentID{0, 1}
+	if _, err := EnumerateReversals(e.Graph(), RGE, nil,
+		region, 5, seed(1), 1, 0, 0, 10); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("steps too large err = %v", err)
+	}
+	if _, err := EnumerateReversals(e.Graph(), RGE, nil,
+		region, 1, seed(1), 1, 0, 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bad limit err = %v", err)
+	}
+	if _, err := EnumerateReversals(e.Graph(), RPLE, nil,
+		region, 1, seed(1), 1, 0, 0, 5); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("RPLE without pre err = %v", err)
+	}
+	chains, err := EnumerateReversals(e.Graph(), RGE, nil,
+		region, 0, seed(1), 1, 0, 0, 5)
+	if err != nil || len(chains) != 1 || len(chains[0]) != 0 {
+		t.Errorf("zero-step enumerate = %v, %v", chains, err)
+	}
+}

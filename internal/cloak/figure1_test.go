@@ -1,0 +1,159 @@
+package cloak
+
+import (
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/mapgen"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// TestFigure1 reproduces the multilevel walkthrough of Fig. 1: the user's
+// segment s18 forms L0; Key1 adds two segments to reach L1; Key2 adds three
+// more for L2; Key3 adds three more for L3. Each key then peels exactly its
+// own level: Key3 reduces L3 to L2, Key3+Key2 reduce to L1, and all three
+// keys recover s18 alone.
+//
+// (The paper's concrete segment choices {s17,s22} etc. follow from its
+// secret keys, which are not published; the reproduced invariant is the
+// level structure — 1, +2, +3, +3 segments — and exact reversibility.)
+func TestFigure1(t *testing.T) {
+	g, s18, err := mapgen.FigureOne()
+	if err != nil {
+		t.Fatalf("FigureOne: %v", err)
+	}
+	if g.NumSegments() != 24 {
+		t.Fatalf("figure graph has %d segments, want 24", g.NumSegments())
+	}
+	if seg, err := g.Segment(s18); err != nil || seg.Name != "s18" {
+		t.Fatalf("user segment = %+v, %v; want s18", seg, err)
+	}
+
+	// One user per segment: k-anonymity of k means k segments here, so the
+	// profile (k,l) = (3,3), (6,6), (9,9) yields the figure's +2/+3/+3.
+	e, err := NewEngine(g, constDensity(1), Options{Algorithm: RGE})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	prof := profile.Profile{Levels: []profile.Level{
+		{K: 3, L: 3},
+		{K: 6, L: 6},
+		{K: 9, L: 9},
+	}}
+	ks := testKeys(3)
+	cr, tr, err := e.Anonymize(Request{UserSegment: s18, Profile: prof, Keys: ks})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+
+	wantAdds := []int{2, 3, 3}
+	for li, want := range wantAdds {
+		if got := len(tr.LevelSeqs[li]); got != want {
+			t.Errorf("level %d added %d segments, want %d", li+1, got, want)
+		}
+	}
+	if len(cr.Segments) != 9 {
+		t.Errorf("L3 region has %d segments, want 9", len(cr.Segments))
+	}
+
+	// "for accessing the information at the lower privilege level L2, Key3
+	// can be used to exactly identify and remove the segments ... to reduce
+	// to the cloaked region corresponding to level L2."
+	l2, err := e.Deanonymize(cr, map[int][]byte{3: ks[2]}, 2)
+	if err != nil {
+		t.Fatalf("Key3 peel: %v", err)
+	}
+	if len(l2.Segments) != 6 {
+		t.Errorf("L2 region has %d segments, want 6", len(l2.Segments))
+	}
+	for _, removedSeg := range tr.LevelSeqs[2] {
+		if l2.Contains(removedSeg) {
+			t.Errorf("segment %d from level 3 still present at L2", removedSeg)
+		}
+	}
+
+	// "using both Key3 and Key2 ... reduce to level L1."
+	l1, err := e.Deanonymize(cr, map[int][]byte{2: ks[1], 3: ks[2]}, 1)
+	if err != nil {
+		t.Fatalf("Key3+Key2 peel: %v", err)
+	}
+	if len(l1.Segments) != 3 {
+		t.Errorf("L1 region has %d segments, want 3", len(l1.Segments))
+	}
+
+	// All keys recover the user's own segment.
+	l0, err := e.Deanonymize(cr, map[int][]byte{1: ks[0], 2: ks[1], 3: ks[2]}, 0)
+	if err != nil {
+		t.Fatalf("full peel: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != s18 {
+		t.Errorf("L0 = %v, want [s18=%d]", l0.Segments, s18)
+	}
+}
+
+// TestFigure1RPLE runs the same walkthrough under RPLE.
+func TestFigure1RPLE(t *testing.T) {
+	g, s18, err := mapgen.FigureOne()
+	if err != nil {
+		t.Fatalf("FigureOne: %v", err)
+	}
+	pre, err := NewPreassignment(g, 8)
+	if err != nil {
+		t.Fatalf("NewPreassignment: %v", err)
+	}
+	e, err := NewEngine(g, constDensity(1), Options{Algorithm: RPLE, Pre: pre})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	prof := profile.Profile{Levels: []profile.Level{
+		{K: 3, L: 3},
+		{K: 6, L: 6},
+		{K: 9, L: 9},
+	}}
+	ks := testKeys(3)
+	cr, _, err := e.Anonymize(Request{UserSegment: s18, Profile: prof, Keys: ks})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	l0, err := e.Deanonymize(cr, map[int][]byte{1: ks[0], 2: ks[1], 3: ks[2]}, 0)
+	if err != nil {
+		t.Fatalf("full peel: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != s18 {
+		t.Errorf("L0 = %v, want [s18=%d]", l0.Segments, s18)
+	}
+}
+
+// TestFigure1SegmentNames spot-checks the demo graph's named layout.
+func TestFigure1SegmentNames(t *testing.T) {
+	g, _, err := mapgen.FigureOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumSegments(); i++ {
+		seg, err := g.Segment(roadnet.SegmentID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "s" + itoa(i+1)
+		if seg.Name != want {
+			t.Errorf("segment %d named %q, want %q", i, seg.Name, want)
+		}
+	}
+	if !g.Connected() {
+		t.Error("figure graph must be connected")
+	}
+}
+
+// itoa avoids strconv in this tiny helper.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

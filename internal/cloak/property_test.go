@@ -1,0 +1,164 @@
+package cloak
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// TestRoundTripProperty is the paper's central guarantee as a property:
+// for arbitrary keys and user segments, anonymization followed by keyed
+// de-anonymization recovers the exact lower-level regions (or cloaking
+// reports failure; it must never round-trip to a wrong region).
+func TestRoundTripProperty(t *testing.T) {
+	engines := map[string]*Engine{
+		"RGE":  newTestEngine(t, RGE, 8, 8, constDensity(1)),
+		"RPLE": newTestEngine(t, RPLE, 8, 8, constDensity(1)),
+	}
+	for name, e := range engines {
+		t.Run(name, func(t *testing.T) {
+			nSegs := e.Graph().NumSegments()
+			f := func(userRaw uint16, k1 byte, k2 byte, kReq uint8) bool {
+				user := roadnet.SegmentID(int(userRaw) % nSegs)
+				k := 3 + int(kReq)%6 // k in [3, 8]
+				prof := profile.Profile{Levels: []profile.Level{
+					{K: k, L: k},
+					{K: 2 * k, L: 2 * k},
+				}}
+				ks := [][]byte{seed(k1), seed(k2)}
+				cr, _, err := e.Anonymize(Request{UserSegment: user, Profile: prof, Keys: ks})
+				if errors.Is(err, ErrCloakFailed) {
+					return true // failure is allowed; wrong results are not
+				}
+				if err != nil {
+					return false
+				}
+				l0, err := e.Deanonymize(cr, map[int][]byte{1: ks[0], 2: ks[1]}, 0)
+				if err != nil {
+					return false
+				}
+				return len(l0.Segments) == 1 && l0.Segments[0] == user
+			}
+			cfg := &quick.Config{MaxCount: 40}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestIntermediateLevelProperty checks that peeling to an intermediate
+// level always yields exactly the region the anonymizer passed through.
+func TestIntermediateLevelProperty(t *testing.T) {
+	e := newTestEngine(t, RGE, 8, 8, constDensity(1))
+	nSegs := e.Graph().NumSegments()
+	f := func(userRaw uint16, kb byte) bool {
+		user := roadnet.SegmentID(int(userRaw) % nSegs)
+		prof := profile.Profile{Levels: []profile.Level{
+			{K: 3, L: 3},
+			{K: 6, L: 6},
+			{K: 10, L: 10},
+		}}
+		ks := [][]byte{seed(kb), seed(kb + 1), seed(kb + 2)}
+		cr, tr, err := e.Anonymize(Request{UserSegment: user, Profile: prof, Keys: ks})
+		if errors.Is(err, ErrCloakFailed) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		want := []roadnet.SegmentID{user}
+		want = append(want, tr.LevelSeqs[0]...)
+		want = append(want, tr.LevelSeqs[1]...)
+		l2, err := e.Deanonymize(cr, map[int][]byte{3: ks[2]}, 2)
+		if err != nil {
+			return false
+		}
+		return sameIDSet(l2.Segments, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStateAddRemoveProperty checks the region state bookkeeping: adding
+// then removing a segment restores size, membership and bounding box.
+func TestStateAddRemoveProperty(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	nSegs := g.NumSegments()
+	f := func(baseRaw, addRaw uint16) bool {
+		base := roadnet.SegmentID(int(baseRaw) % nSegs)
+		st := newState(g, []roadnet.SegmentID{base}, constDensity(3))
+		nbs := g.Neighbors(base)
+		add := nbs[int(addRaw)%len(nbs)]
+		beforeBox := st.bbox
+		beforeUsers := st.users
+		st.add(add)
+		if !st.has(add) || st.size() != 2 || st.users != beforeUsers+3 {
+			return false
+		}
+		st.remove(add)
+		return !st.has(add) && st.size() == 1 &&
+			st.bbox == beforeBox && st.users == beforeUsers
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCandidatesProperty: candidate sets are duplicate-free, disjoint from
+// the region, adjacent to it, and canonically ordered.
+func TestCandidatesProperty(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	nSegs := g.NumSegments()
+	f := func(aRaw, bRaw uint16) bool {
+		a := roadnet.SegmentID(int(aRaw) % nSegs)
+		st := newState(g, []roadnet.SegmentID{a}, nil)
+		// Grow by one adjacent segment for a 2-segment region.
+		nbs := g.Neighbors(a)
+		st.add(nbs[int(bRaw)%len(nbs)])
+		can := st.candidates()
+		seen := make(map[roadnet.SegmentID]bool)
+		for i, c := range can {
+			if st.has(c) || seen[c] {
+				return false
+			}
+			seen[c] = true
+			if !st.eligible(c) {
+				return false
+			}
+			if i > 0 {
+				li, lj := g.SegmentLength(can[i-1]), g.SegmentLength(c)
+				if li > lj || (li == lj && can[i-1] > c) {
+					return false // not canonical order
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSaltsArePublic checks the collision-avoidance accounting: whatever
+// salts the engine settles on are recorded in the public metadata, and the
+// de-anonymizer needs nothing else.
+func TestSaltsArePublic(t *testing.T) {
+	e := newTestEngine(t, RGE, 8, 8, constDensity(1))
+	ks := testKeys(2)
+	prof := profile.Profile{Levels: []profile.Level{{K: 5, L: 5}, {K: 12, L: 12}}}
+	cr, tr, err := e.Anonymize(Request{UserSegment: 20, Profile: prof, Keys: ks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cr.Levels {
+		if cr.Levels[i].Salt != tr.Salts[i] {
+			t.Errorf("level %d: published salt %d != accepted salt %d",
+				i+1, cr.Levels[i].Salt, tr.Salts[i])
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package cloak
+
+import (
+	"fmt"
+
+	"github.com/reversecloak/reversecloak/internal/prng"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// prngDerive aliases the keyed derivation used for step tags.
+func prngDerive(key []byte, label string) []byte { return prng.Derive(key, label) }
+
+// reverseResult is the outcome of unwinding one privacy level.
+type reverseResult struct {
+	// removed lists the removed segments, last-added first.
+	removed []roadnet.SegmentID
+	// preMembers is the region before the level was added (sorted by ID).
+	preMembers []roadnet.SegmentID
+	// startHead is the head at the start of the level (the last segment
+	// added by the level below) — the hint that seeds the next peel.
+	// InvalidSegment when steps == 0.
+	startHead roadnet.SegmentID
+}
+
+// searchBudget bounds the de-anonymizer's DFS to keep worst-case reversal
+// cost near-linear: when a region grows much larger than its candidate set
+// the paper's backward lookup collides at every step and an unbounded
+// search would blow up exponentially. Levels whose tagless reversal would
+// exceed the budget are published with disambiguation tags instead (see
+// Engine), so key holders never hit the budget. A collision-free reversal
+// needs about |region| + steps expansions; the 32x slack absorbs benign
+// local forks.
+func searchBudget(regionSize, steps int) int {
+	return 1024 + 32*(regionSize+steps)
+}
+
+// enumBudget bounds the adversarial ambiguity enumeration; truncation only
+// understates the adversary's confusion.
+const enumBudget = 20000
+
+// reverseLevel unwinds `steps` segments of one privacy level from `region`
+// using the level key. It implements the paper's backward transitions plus
+// a depth-first hypothesis search:
+//
+//   - The first removal of the level is unknown to the de-anonymizer; every
+//     region segment is tried as the hypothesis "this was added last"
+//     (restricted to `hint` when the level above already revealed it).
+//   - Each removal's backward transition yields the candidate previous
+//     head(s); because removal order is exactly reverse insertion order,
+//     that head is the next segment to remove, chaining the walk backward.
+//   - A hypothesis is kept only while every step verifies: the removed
+//     segment must have been an eligible candidate of the pre-state and the
+//     keyed pick must map head -> removed (checked inside the steppers).
+//     Collisions (several consistent heads) fork the search; the engine's
+//     anonymize-time verification guarantees the first hypothesis in the
+//     deterministic search order is the true chain.
+//   - When the level carries disambiguation tags, each removal is resolved
+//     directly by matching the step tag against the members of the current
+//     region — no search at all.
+//
+// The search needs no density information: step counts come from public
+// metadata, so data requesters can run it offline with just the map, the
+// keys and the cloaked region.
+func reverseLevel(
+	g *roadnet.Graph,
+	algo Algorithm,
+	pre *Preassignment,
+	region []roadnet.SegmentID,
+	meta LevelMeta,
+	key []byte,
+	level int,
+	hint roadnet.SegmentID,
+) (*reverseResult, error) {
+	steps := meta.Steps
+	if steps < 0 || steps >= len(region) {
+		return nil, fmt.Errorf("%w: %d steps for a %d-segment region",
+			ErrBadRegion, steps, len(region))
+	}
+	if steps == 0 {
+		return &reverseResult{
+			preMembers: sortedCopy(region),
+			startHead:  roadnet.InvalidSegment,
+		}, nil
+	}
+
+	stp, err := makeStepper(algo, pre, key, level, meta.Salt)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(g, region, nil)
+	st.sigma = meta.SigmaS
+
+	if meta.Tags != nil {
+		return reverseWithTags(st, stp, meta, key, level)
+	}
+
+	search := &reverseSearch{st: st, stp: stp, max: 1,
+		budget: searchBudget(len(region), steps)}
+
+	// Candidate first removals: the hint when available, otherwise every
+	// member in canonical order (the deterministic order both sides share).
+	var firsts []roadnet.SegmentID
+	if hint != roadnet.InvalidSegment {
+		if !st.has(hint) {
+			return nil, fmt.Errorf("%w: hint segment %d not in region", ErrBadRegion, hint)
+		}
+		firsts = []roadnet.SegmentID{hint}
+	} else {
+		firsts = st.canonicalMembers()
+	}
+
+	for _, first := range firsts {
+		if search.undo(steps, first) {
+			break
+		}
+	}
+	if len(search.results) > 0 {
+		return search.results[0], nil
+	}
+	if search.exhausted {
+		return nil, fmt.Errorf("%w: reversal search budget exceeded for level %d (%d steps)",
+			ErrIrreversible, level, steps)
+	}
+	return nil, fmt.Errorf("%w: no consistent removal chain for level %d (%d steps)",
+		ErrIrreversible, level, steps)
+}
+
+// makeStepper builds the per-(algorithm, key, level, salt) stepper.
+func makeStepper(algo Algorithm, pre *Preassignment, key []byte, level int, salt uint32) (stepper, error) {
+	switch algo {
+	case RPLE:
+		if pre == nil {
+			return nil, fmt.Errorf("%w: RPLE reversal requires a preassignment", ErrBadRequest)
+		}
+		return newRPLEStepper(pre, key, level, salt), nil
+	case RGE:
+		return newRGEStepper(key, level, salt), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadRegion, int(algo))
+	}
+}
+
+// reverseWithTags resolves each removal directly: the segment whose keyed
+// tag matches the published step tag is the one added at that step. Each
+// removal is additionally validated against the backward transition, so a
+// wrong key (whose tags match nothing) fails loudly.
+func reverseWithTags(
+	st *state,
+	stp stepper,
+	meta LevelMeta,
+	key []byte,
+	level int,
+) (*reverseResult, error) {
+	removed := make([]roadnet.SegmentID, 0, meta.Steps)
+	for t := meta.Steps; t >= 1; t-- {
+		want := meta.Tags[t-1]
+		found := roadnet.InvalidSegment
+		for _, s := range st.memberSlice() {
+			if matchTag(key, level, meta.Salt, t, s, want) {
+				found = s
+				break
+			}
+		}
+		if found == roadnet.InvalidSegment {
+			return nil, fmt.Errorf("%w: step %d tag matches no region segment (wrong key?)",
+				ErrIrreversible, t)
+		}
+		if !st.connectedWithout(found) {
+			return nil, fmt.Errorf("%w: step %d removal disconnects the region",
+				ErrIrreversible, t)
+		}
+		st.remove(found)
+		removed = append(removed, found)
+		heads := stp.backward(st, found, uint64(t-1))
+		if len(heads) == 0 {
+			return nil, fmt.Errorf("%w: step %d fails the backward transition",
+				ErrIrreversible, t)
+		}
+		// The start head stays InvalidSegment in tag mode: the backward row
+		// lookup can be ambiguous for large regions, and the next level
+		// de-anonymizes correctly without a hint.
+	}
+	return &reverseResult{
+		removed:    removed,
+		preMembers: st.memberSlice(),
+		startHead:  roadnet.InvalidSegment,
+	}, nil
+}
+
+// stepTag derives the keyed disambiguation tag for one step.
+func stepTag(key []byte, level int, salt uint32, step int, seg roadnet.SegmentID) []byte {
+	return prngDerive(key, tagLabel(level, salt, step, seg))[:tagSize]
+}
+
+// matchTag compares a published tag against the derived one.
+func matchTag(key []byte, level int, salt uint32, step int, seg roadnet.SegmentID, want []byte) bool {
+	if len(want) != tagSize {
+		return false
+	}
+	got := stepTag(key, level, salt, step, seg)
+	var diff byte
+	for i := range got {
+		diff |= got[i] ^ want[i]
+	}
+	return diff == 0
+}
+
+// EnumerateReversals returns up to limit complete removal chains that are
+// consistent with the given key. With the true key exactly one chain — the
+// real one — survives the engine's collision avoidance; with a wrong or
+// guessed key the count measures the adversary's remaining ambiguity
+// (experiment E11). Each returned chain lists removals last-added first.
+func EnumerateReversals(
+	g *roadnet.Graph,
+	algo Algorithm,
+	pre *Preassignment,
+	region []roadnet.SegmentID,
+	steps int,
+	key []byte,
+	level int,
+	salt uint32,
+	sigma float64,
+	limit int,
+) ([][]roadnet.SegmentID, error) {
+	if steps < 0 || steps >= len(region) {
+		return nil, fmt.Errorf("%w: %d steps for a %d-segment region",
+			ErrBadRegion, steps, len(region))
+	}
+	if limit < 1 {
+		return nil, fmt.Errorf("%w: non-positive limit", ErrBadRequest)
+	}
+	if steps == 0 {
+		return [][]roadnet.SegmentID{{}}, nil
+	}
+	stp, err := makeStepper(algo, pre, key, level, salt)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(g, region, nil)
+	st.sigma = sigma
+	// Ambiguity analysis keeps a bounded search: exceeding the budget
+	// just truncates the enumeration (the ambiguity is the finding).
+	search := &reverseSearch{st: st, stp: stp, max: limit, budget: enumBudget}
+	for _, first := range st.canonicalMembers() {
+		if search.undo(steps, first) {
+			break
+		}
+	}
+	out := make([][]roadnet.SegmentID, 0, len(search.results))
+	for _, r := range search.results {
+		out = append(out, r.removed)
+	}
+	return out, nil
+}
+
+// reverseSearch carries the DFS state for one level reversal. It collects
+// up to max complete chains; the de-anonymizer uses max=1 (first hit in the
+// deterministic order is the verified truth), the ambiguity analysis uses
+// larger budgets. The node budget caps total expansions; exceeding it stops
+// the search with whatever was found.
+type reverseSearch struct {
+	st        *state
+	stp       stepper
+	removed   []roadnet.SegmentID
+	results   []*reverseResult
+	max       int
+	budget    int
+	nodes     int
+	exhausted bool
+}
+
+// undo attempts to remove `added` as the segment of forward step t
+// (1-based) and recursively unwind the remaining steps. The state must be
+// R_{t+1} on entry; it returns true when the search should stop (result or
+// node budget exhausted). The state is always restored before returning.
+func (rs *reverseSearch) undo(t int, added roadnet.SegmentID) bool {
+	rs.nodes++
+	if rs.nodes > rs.budget {
+		rs.exhausted = true
+		return true
+	}
+	st := rs.st
+	if !st.has(added) || !st.connectedWithout(added) {
+		return false
+	}
+	st.remove(added)
+	rs.removed = append(rs.removed, added)
+
+	// Backward transition: which heads could have produced this addition?
+	heads := rs.stp.backward(st, added, uint64(t-1))
+
+	full := false
+	if t == 1 {
+		// Fully unwound: the surviving head is the level's start head.
+		if len(heads) > 0 {
+			rs.results = append(rs.results, &reverseResult{
+				removed:    append([]roadnet.SegmentID(nil), rs.removed...),
+				preMembers: st.memberSlice(),
+				startHead:  heads[0],
+			})
+			full = len(rs.results) >= rs.max
+		}
+	} else {
+		// The previous head is the next segment to remove (removal order is
+		// reverse insertion order). Fork on collisions.
+		for _, h := range heads {
+			if rs.undo(t-1, h) {
+				full = true
+				break
+			}
+		}
+	}
+	rs.restore(added)
+	return full
+}
+
+// restore re-adds a segment and pops the removal log after exploring a
+// branch.
+func (rs *reverseSearch) restore(added roadnet.SegmentID) {
+	rs.st.add(added)
+	rs.removed = rs.removed[:len(rs.removed)-1]
+}
+
+// sortedCopy returns ids sorted ascending without mutating the input.
+func sortedCopy(ids []roadnet.SegmentID) []roadnet.SegmentID {
+	out := append([]roadnet.SegmentID(nil), ids...)
+	sortIDs(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package cloak
+
+import (
+	"fmt"
+
+	"github.com/reversecloak/reversecloak/internal/prng"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// stepper abstracts the per-step transition logic that differs between RGE
+// and RPLE. Both directions operate on the *pre-addition* state: forward
+// selects the segment to add; backward, given the segment that was added
+// from this state, returns every head (previously added segment) that could
+// have produced that addition.
+type stepper interface {
+	// forward returns the segment selected at draw index t when the region
+	// is st and the last added segment is head. It returns
+	// roadnet.InvalidSegment with ok=false when expansion is stuck (no
+	// eligible candidate).
+	forward(st *state, head roadnet.SegmentID, t uint64) (roadnet.SegmentID, bool)
+	// backward returns the candidate heads for the transition that added
+	// `added` at draw index t from state st. An empty result means the
+	// hypothesis "added was selected from st" is inconsistent with the key.
+	backward(st *state, added roadnet.SegmentID, t uint64) []roadnet.SegmentID
+}
+
+// rgeStepper implements Reversible Global Expansion. The candidate set is
+// recomputed from the whole region at every step ("global"), which costs
+// time but needs no precomputed storage.
+type rgeStepper struct {
+	stream *prng.Stream
+}
+
+var _ stepper = (*rgeStepper)(nil)
+
+// newRGEStepper returns the stepper for one (key, level, salt) stream.
+func newRGEStepper(key []byte, level int, salt uint32) *rgeStepper {
+	return &rgeStepper{stream: prng.New(key, streamLabel(level, salt))}
+}
+
+// forward implements the Fig. 2 forward transition: pick value
+// p = R_t mod |CanA|; the head's row contains exactly one cell with value
+// p, whose column is the next segment.
+func (r *rgeStepper) forward(st *state, head roadnet.SegmentID, t uint64) (roadnet.SegmentID, bool) {
+	can := st.candidates()
+	if len(can) == 0 {
+		return roadnet.InvalidSegment, false
+	}
+	rows := st.canonicalMembers()
+	i := indexOf(rows, head)
+	if i < 0 {
+		return roadnet.InvalidSegment, false
+	}
+	pick := r.stream.Pick(t, len(can))
+	j := forwardColumn(i+1, pick, len(can))
+	return can[j-1], true
+}
+
+// backward implements the Fig. 2 backward transition: the removed segment's
+// column determines the row(s) carrying the pick value; those rows are the
+// possible previously-added segments. For the hypothesis to be consistent,
+// `added` must be a member of the state's candidate set at all.
+func (r *rgeStepper) backward(st *state, added roadnet.SegmentID, t uint64) []roadnet.SegmentID {
+	can := st.candidates()
+	j := indexOf(can, added)
+	if j < 0 {
+		return nil
+	}
+	pick := r.stream.Pick(t, len(can))
+	rows := st.canonicalMembers()
+	var heads []roadnet.SegmentID
+	for _, i := range backwardRowIndices(j+1, pick, len(rows), len(can)) {
+		heads = append(heads, rows[i-1])
+	}
+	return heads
+}
+
+// describe aids error messages.
+func (r *rgeStepper) describe() string { return fmt.Sprintf("%v stepper", RGE) }

@@ -1,0 +1,164 @@
+package cloak
+
+import (
+	"sort"
+
+	"github.com/reversecloak/reversecloak/internal/geom"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// state is the mutable cloaking-region state shared by expansion and
+// reversal: the member set, cached bounds, user count and the active
+// spatial tolerance.
+type state struct {
+	g       *roadnet.Graph
+	members map[roadnet.SegmentID]bool
+	bbox    geom.BBox
+	// sigma is the active spatial tolerance in meters (0 = unbounded).
+	sigma float64
+	// users is the cached sum of density over members; only maintained when
+	// density != nil (the de-anonymizer runs without density).
+	users   int
+	density DensityFunc
+}
+
+// newState builds a state over the given member segments.
+func newState(g *roadnet.Graph, members []roadnet.SegmentID, density DensityFunc) *state {
+	st := &state{
+		g:       g,
+		members: make(map[roadnet.SegmentID]bool, len(members)+16),
+		density: density,
+	}
+	for _, id := range members {
+		st.members[id] = true
+		st.bbox = st.bbox.Union(g.SegmentBounds(id))
+		if density != nil {
+			st.users += density(id)
+		}
+	}
+	return st
+}
+
+// size returns the number of member segments.
+func (st *state) size() int { return len(st.members) }
+
+// has reports membership.
+func (st *state) has(id roadnet.SegmentID) bool { return st.members[id] }
+
+// add inserts a segment and updates caches.
+func (st *state) add(id roadnet.SegmentID) {
+	if st.members[id] {
+		return
+	}
+	st.members[id] = true
+	st.bbox = st.bbox.Union(st.g.SegmentBounds(id))
+	if st.density != nil {
+		st.users += st.density(id)
+	}
+}
+
+// remove deletes a segment. The bounding box is recomputed from scratch
+// because removal can shrink it.
+func (st *state) remove(id roadnet.SegmentID) {
+	if !st.members[id] {
+		return
+	}
+	delete(st.members, id)
+	st.recomputeBBox()
+	if st.density != nil {
+		st.users -= st.density(id)
+	}
+}
+
+// recomputeBBox rebuilds the cached bounding box.
+func (st *state) recomputeBBox() {
+	var b geom.BBox
+	for id := range st.members {
+		b = b.Union(st.g.SegmentBounds(id))
+	}
+	st.bbox = b
+}
+
+// withinTolerance reports whether adding segment id keeps the region's
+// bounding-box diagonal at or under the active tolerance.
+func (st *state) withinTolerance(id roadnet.SegmentID) bool {
+	if st.sigma <= 0 {
+		return true
+	}
+	return st.bbox.Union(st.g.SegmentBounds(id)).Diagonal() <= st.sigma
+}
+
+// memberSlice returns the members sorted ascending by ID.
+func (st *state) memberSlice() []roadnet.SegmentID {
+	out := make([]roadnet.SegmentID, 0, len(st.members))
+	for id := range st.members {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// canonicalMembers returns the members in the paper's canonical table
+// order (ascending segment length, ties by ID): the table's rows.
+func (st *state) canonicalMembers() []roadnet.SegmentID {
+	out := st.memberSlice()
+	st.g.SortCanonical(out)
+	return out
+}
+
+// candidates returns the RGE candidate set CanA: every segment adjacent to
+// the region, not in it, whose addition respects the spatial tolerance —
+// in canonical order (the table's columns).
+func (st *state) candidates() []roadnet.SegmentID {
+	seen := make(map[roadnet.SegmentID]bool)
+	var out []roadnet.SegmentID
+	for id := range st.members {
+		for _, nb := range st.g.Neighbors(id) {
+			if st.members[nb] || seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			if st.withinTolerance(nb) {
+				out = append(out, nb)
+			}
+		}
+	}
+	st.g.SortCanonical(out)
+	return out
+}
+
+// eligible reports whether segment id could be selected as the next
+// addition: outside the region, adjacent to it, and within tolerance.
+func (st *state) eligible(id roadnet.SegmentID) bool {
+	if !st.g.HasSegment(id) || st.members[id] {
+		return false
+	}
+	adjacent := false
+	for _, nb := range st.g.Neighbors(id) {
+		if st.members[nb] {
+			adjacent = true
+			break
+		}
+	}
+	return adjacent && st.withinTolerance(id)
+}
+
+// connectedWithout reports whether the region stays connected after
+// removing id. A single-member region reduced to empty is not valid.
+func (st *state) connectedWithout(id roadnet.SegmentID) bool {
+	if !st.members[id] || len(st.members) < 2 {
+		return false
+	}
+	set := make(map[roadnet.SegmentID]bool, len(st.members)-1)
+	for m := range st.members {
+		if m != id {
+			set[m] = true
+		}
+	}
+	return st.g.SegmentSetConnected(set)
+}
+
+// sortIDs sorts segment IDs ascending.
+func sortIDs(ids []roadnet.SegmentID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

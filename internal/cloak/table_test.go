@@ -1,0 +1,205 @@
+package cloak
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/geom"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// fig2Graph reconstructs the Fig. 2 scenario: a region CloakA = {s8, s9,
+// s11} with candidate set CanA = {s6, s10, s14}. Segment lengths are chosen
+// so the canonical (shortest-first) order maps s9,s8,s11 to rows 1,2,3 and
+// s6,s14,s10 to columns 1,2,3 — the assignment implied by the paper's
+// walkthrough ("the transition value 2 in the 2nd row is located in the
+// cell (2,2), which indicates the forward transition from s8 to s14").
+//
+// Topology: a star of junctions around a center so that every candidate is
+// adjacent to the region.
+func fig2Graph(t *testing.T) (g *roadnet.Graph, ids map[string]roadnet.SegmentID) {
+	t.Helper()
+	b := roadnet.NewBuilder(8, 8)
+	// Junction layout (hub j0): each segment hangs off the hub so all six
+	// segments are mutually adjacent; lengths are set by endpoint distance.
+	hub := b.AddJunction(geom.Point{X: 0, Y: 0})
+	ids = make(map[string]roadnet.SegmentID)
+	add := func(name string, length float64) {
+		t.Helper()
+		j := b.AddJunction(geom.Point{X: length, Y: 0})
+		// Distinct endpoints are required; reuse of (hub, length) pairs would
+		// collide, so nudge Y by the current count.
+		_ = j
+		sid, err := b.AddNamedSegment(hub, j, name)
+		if err != nil {
+			t.Fatalf("AddNamedSegment(%s): %v", name, err)
+		}
+		ids[name] = sid
+	}
+	// Lengths: rows s9 < s8 < s11; columns s6 < s14 < s10, interleaved so
+	// the combined canonical order is unambiguous.
+	add("s9", 10)  // row 1
+	add("s8", 20)  // row 2
+	add("s11", 30) // row 3
+	add("s6", 12)  // col 1
+	add("s14", 22) // col 2
+	add("s10", 32) // col 3
+	return b.Build(), ids
+}
+
+func TestFigure2TransitionTable(t *testing.T) {
+	g, ids := fig2Graph(t)
+	cloakA := []roadnet.SegmentID{ids["s8"], ids["s9"], ids["s11"]}
+	canA := []roadnet.SegmentID{ids["s6"], ids["s10"], ids["s14"]}
+	tab := NewTransitionTable(g, cloakA, canA)
+
+	// Canonical order: rows s9, s8, s11; cols s6, s14, s10.
+	wantRows := []roadnet.SegmentID{ids["s9"], ids["s8"], ids["s11"]}
+	wantCols := []roadnet.SegmentID{ids["s6"], ids["s14"], ids["s10"]}
+	for i := range wantRows {
+		if tab.Rows[i] != wantRows[i] {
+			t.Fatalf("row %d = %d, want %d", i+1, tab.Rows[i], wantRows[i])
+		}
+	}
+	for j := range wantCols {
+		if tab.Cols[j] != wantCols[j] {
+			t.Fatalf("col %d = %d, want %d", j+1, tab.Cols[j], wantCols[j])
+		}
+	}
+
+	// The full table of Fig. 2: value(i,j) = ((i-1)+(j-1)) mod 3.
+	want := [3][3]int{{0, 1, 2}, {1, 2, 0}, {2, 0, 1}}
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			got, err := tab.Value(i, j)
+			if err != nil {
+				t.Fatalf("Value(%d,%d): %v", i, j, err)
+			}
+			if got != want[i-1][j-1] {
+				t.Errorf("Value(%d,%d) = %d, want %d", i, j, got, want[i-1][j-1])
+			}
+		}
+	}
+}
+
+func TestFigure2ForwardBackwardWalkthrough(t *testing.T) {
+	// "if R_i is 5, p_i will be 2. ... since the last added segment is s8,
+	// we find the transition value 2 in the 2nd row is located in cell
+	// (2,2), which indicates the forward transition from s8 to s14. For the
+	// de-anonymization process, known the last removed segment s14, the
+	// transition value 2 in the cell (2,2) here indicates the backward
+	// transition from s14 to s8."
+	g, ids := fig2Graph(t)
+	cloakA := []roadnet.SegmentID{ids["s8"], ids["s9"], ids["s11"]}
+	canA := []roadnet.SegmentID{ids["s6"], ids["s10"], ids["s14"]}
+	tab := NewTransitionTable(g, cloakA, canA)
+
+	const rI = 5
+	pick := rI % 3 // = 2, the paper's pick value
+	next, err := tab.Forward(ids["s8"], pick)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if next != ids["s14"] {
+		t.Errorf("forward transition from s8 = segment %d, want s14 (%d)", next, ids["s14"])
+	}
+
+	heads, err := tab.Backward(ids["s14"], pick)
+	if err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	if len(heads) != 1 || heads[0] != ids["s8"] {
+		t.Errorf("backward transition from s14 = %v, want [s8 (%d)]", heads, ids["s8"])
+	}
+}
+
+func TestTableNoRepeatsWhenCloakLEQCan(t *testing.T) {
+	// "there is no repeated transition value in each row and column if
+	// CloakA <= CanA, thus no collisions".
+	for _, dims := range [][2]int{{1, 1}, {2, 3}, {3, 3}, {4, 7}, {5, 5}} {
+		nRows, nCols := dims[0], dims[1]
+		for i := 1; i <= nRows; i++ {
+			seen := make(map[int]bool)
+			for j := 1; j <= nCols; j++ {
+				v := tableValue(i, j, nCols)
+				if seen[v] {
+					t.Fatalf("%dx%d: repeated value %d in row %d", nRows, nCols, v, i)
+				}
+				seen[v] = true
+			}
+		}
+		for j := 1; j <= nCols; j++ {
+			seen := make(map[int]bool)
+			for i := 1; i <= nRows; i++ {
+				v := tableValue(i, j, nCols)
+				if seen[v] {
+					t.Fatalf("%dx%d: repeated value %d in column %d", nRows, nCols, v, j)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestForwardBackwardAreInverse(t *testing.T) {
+	// For every (row, pick): forwardColumn gives j; backwardRowIndices of
+	// (j, pick) must contain exactly that row when rows <= cols.
+	for nCols := 1; nCols <= 8; nCols++ {
+		for nRows := 1; nRows <= nCols; nRows++ {
+			for i := 1; i <= nRows; i++ {
+				for pick := 0; pick < nCols; pick++ {
+					j := forwardColumn(i, pick, nCols)
+					rows := backwardRowIndices(j, pick, nRows, nCols)
+					if len(rows) != 1 || rows[0] != i {
+						t.Fatalf("rows=%d cols=%d i=%d pick=%d: j=%d back=%v",
+							nRows, nCols, i, pick, j, rows)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardCollisionsWhenRowsExceedCols(t *testing.T) {
+	// With more rows than columns some backward lookups must be ambiguous —
+	// the collision case the engine's salt retries avoid.
+	rows := backwardRowIndices(1, 0, 6, 3)
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 colliding rows, got %v", rows)
+	}
+	for _, i := range rows {
+		if tableValue(i, 1, 3) != 0 {
+			t.Errorf("row %d does not carry the pick value", i)
+		}
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	g, ids := fig2Graph(t)
+	tab := NewTransitionTable(g,
+		[]roadnet.SegmentID{ids["s8"]},
+		[]roadnet.SegmentID{ids["s6"]})
+	if _, err := tab.Value(0, 1); err == nil {
+		t.Error("Value(0,1) should fail")
+	}
+	if _, err := tab.Value(1, 2); err == nil {
+		t.Error("Value(1,2) should fail on 1x1 table")
+	}
+	if _, err := tab.Forward(ids["s10"], 0); err == nil {
+		t.Error("Forward from non-row should fail")
+	}
+	if _, err := tab.Backward(ids["s10"], 0); err == nil {
+		t.Error("Backward from non-column should fail")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	g, ids := fig2Graph(t)
+	tab := NewTransitionTable(g,
+		[]roadnet.SegmentID{ids["s8"], ids["s9"]},
+		[]roadnet.SegmentID{ids["s6"], ids["s14"]})
+	s := tab.String()
+	if !strings.Contains(s, "s") || !strings.Contains(s, "0") {
+		t.Errorf("rendered table looks wrong:\n%s", s)
+	}
+}

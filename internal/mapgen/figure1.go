@@ -1,0 +1,57 @@
+package mapgen
+
+import (
+	"fmt"
+
+	"github.com/reversecloak/reversecloak/internal/geom"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// FigureOne builds the paper's Fig. 1 demonstration sub-graph: a small road
+// network of 24 named segments (s1..s24) over a 4x4 junction grid, with the
+// user's segment s18 in the interior. Junctions are lightly offset so
+// segment lengths are pairwise distinct, which keeps the canonical table
+// order unambiguous.
+//
+// It returns the graph and the SegmentID of s18 (the level-L0 segment).
+func FigureOne() (*roadnet.Graph, roadnet.SegmentID, error) {
+	b := roadnet.NewBuilder(16, 24)
+	// Deterministic sub-meter offsets decorrelate segment lengths.
+	offset := func(i, j int) geom.Point {
+		return geom.Point{
+			X: float64(j)*400 + float64((i*7+j*13)%17),
+			Y: float64(i)*400 + float64((i*11+j*5)%19),
+		}
+	}
+	var ids [4][4]roadnet.JunctionID
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ids[i][j] = b.AddJunction(offset(i, j))
+		}
+	}
+	n := 0
+	addSeg := func(a, c roadnet.JunctionID) error {
+		n++
+		_, err := b.AddNamedSegment(a, c, fmt.Sprintf("s%d", n))
+		return err
+	}
+	// Horizontal segments row by row (s1..s12), then vertical (s13..s24);
+	// s18 lands on an interior vertical segment.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if err := addSeg(ids[i][j], ids[i][j+1]); err != nil {
+				return nil, roadnet.InvalidSegment, fmt.Errorf("mapgen: figure 1: %w", err)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if err := addSeg(ids[i][j], ids[i+1][j]); err != nil {
+				return nil, roadnet.InvalidSegment, fmt.Errorf("mapgen: figure 1: %w", err)
+			}
+		}
+	}
+	g := b.Build()
+	// s18 is the 18th named segment, ID 17.
+	return g, roadnet.SegmentID(17), nil
+}

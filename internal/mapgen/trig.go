@@ -1,0 +1,8 @@
+package mapgen
+
+import "math"
+
+// cosApprox and sinApprox exist so the Ring generator reads symmetrically;
+// they delegate to the standard library.
+func cosApprox(x float64) float64 { return math.Cos(x) }
+func sinApprox(x float64) float64 { return math.Sin(x) }

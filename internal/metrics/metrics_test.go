@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatsBasics(t *testing.T) {
+	var s Stats
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("zero-value stats should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std()-want) > 1e-9 {
+		t.Errorf("Std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema = %v..%v", s.Min(), s.Max())
+	}
+}
+
+func TestStatsSingleSample(t *testing.T) {
+	var s Stats
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Var() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("single-sample stats wrong")
+	}
+}
+
+func TestStatsNegativeValues(t *testing.T) {
+	var s Stats
+	s.Add(-10)
+	s.Add(10)
+	if s.Mean() != 0 || s.Min() != -10 || s.Max() != 10 {
+		t.Error("negative handling wrong")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Stats
+	s.AddDuration(250 * time.Millisecond)
+	if s.Mean() != 0.25 {
+		t.Errorf("Mean = %v, want 0.25", s.Mean())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	samples := []float64{5, 1, 3, 2, 4}
+	qs := Quantiles(samples, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Errorf("quantiles = %v", qs)
+	}
+	// Interpolated quantile.
+	q := Quantiles([]float64{0, 10}, 0.25)
+	if q[0] != 2.5 {
+		t.Errorf("q25 = %v, want 2.5", q[0])
+	}
+	empty := Quantiles(nil, 0.5)
+	if empty[0] != 0 {
+		t.Error("empty quantiles should be zero")
+	}
+	// Input must not be mutated.
+	if samples[0] != 5 {
+		t.Error("Quantiles mutated its input")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E8: k sweep", "k", "time(ms)", "segments")
+	tab.AddRow("10", "1.5", "12")
+	tab.AddRow("20", "3.25", "24")
+	tab.AddRow("40") // short row padded
+	out := tab.String()
+	if !strings.Contains(out, "E8: k sweep") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "k ") || !strings.Contains(out, "3.25") {
+		t.Errorf("table misrendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("1", `va"l,ue`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"va""l,ue"`) {
+		t.Errorf("CSV escaping wrong: %s", csv)
+	}
+	if strings.Contains(csv, "t\n") && strings.HasPrefix(csv, "t") {
+		t.Error("CSV should not include the title")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "0.5µs"},
+		{42 * time.Microsecond, "42.0µs"},
+		{3500 * time.Microsecond, "3.50ms"},
+		{2500 * time.Millisecond, "2.500s"},
+	}
+	for _, tt := range tests {
+		if got := FormatDuration(tt.d); got != tt.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0KiB"},
+		{3 << 20, "3.00MiB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package prng
+
+import "math"
+
+// boxMuller maps two uniforms (u1 in (0,1], u2 in [0,1)) to one standard
+// normal variate.
+func boxMuller(u1, u2 float64) float64 {
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

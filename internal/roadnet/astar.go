@@ -1,0 +1,87 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// AStarPath returns the same result as ShortestPath but uses A* with the
+// straight-line distance heuristic. Segment weights are Euclidean lengths,
+// so the heuristic is admissible and the result is exact. The trace
+// generator issues thousands of route queries; A* visits a small corridor of
+// the network instead of a full Dijkstra ball.
+func (g *Graph) AStarPath(from, to JunctionID) ([]SegmentID, float64, error) {
+	if !g.HasJunction(from) {
+		return nil, 0, fmt.Errorf("junction %d: %w", from, ErrNotFound)
+	}
+	if !g.HasJunction(to) {
+		return nil, 0, fmt.Errorf("junction %d: %w", to, ErrNotFound)
+	}
+	if from == to {
+		return nil, 0, nil
+	}
+
+	goal := g.junctions[to].At
+	const unvisited = -1.0
+	gScore := make([]float64, len(g.junctions))
+	via := make([]SegmentID, len(g.junctions))
+	for i := range gScore {
+		gScore[i] = unvisited
+		via[i] = InvalidSegment
+	}
+	gScore[from] = 0
+	settled := make([]bool, len(g.junctions))
+
+	q := pq{{junction: from, dist: g.junctions[from].At.Dist(goal)}}
+	for q.Len() > 0 {
+		item := heap.Pop(&q).(pqItem)
+		j := item.junction
+		if settled[j] {
+			continue
+		}
+		settled[j] = true
+		if j == to {
+			break
+		}
+		for _, sid := range g.incident[j] {
+			seg := g.segments[sid]
+			next := seg.A
+			if next == j {
+				next = seg.B
+			}
+			if settled[next] {
+				continue
+			}
+			nd := gScore[j] + seg.Length
+			if gScore[next] == unvisited || nd < gScore[next] {
+				gScore[next] = nd
+				via[next] = sid
+				heap.Push(&q, pqItem{
+					junction: next,
+					dist:     nd + g.junctions[next].At.Dist(goal),
+				})
+			}
+		}
+	}
+
+	if !settled[to] {
+		return nil, 0, fmt.Errorf("junction %d to %d: %w", from, to, ErrNoPath)
+	}
+	var rev []SegmentID
+	at := to
+	for at != from {
+		sid := via[at]
+		rev = append(rev, sid)
+		seg := g.segments[sid]
+		if seg.A == at {
+			at = seg.B
+		} else {
+			at = seg.A
+		}
+	}
+	path := make([]SegmentID, len(rev))
+	for i, sid := range rev {
+		path[len(rev)-1-i] = sid
+	}
+	return path, gScore[to], nil
+}

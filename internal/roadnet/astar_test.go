@@ -1,0 +1,100 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reversecloak/reversecloak/internal/geom"
+)
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g := buildLadder(t)
+	for from := JunctionID(0); int(from) < g.NumJunctions(); from++ {
+		for to := JunctionID(0); int(to) < g.NumJunctions(); to++ {
+			_, dD, errD := g.ShortestPath(from, to)
+			_, dA, errA := g.AStarPath(from, to)
+			if (errD == nil) != (errA == nil) {
+				t.Fatalf("(%d,%d): error mismatch %v vs %v", from, to, errD, errA)
+			}
+			if errD == nil && math.Abs(dD-dA) > 1e-9 {
+				t.Fatalf("(%d,%d): dist %v vs %v", from, to, dD, dA)
+			}
+		}
+	}
+}
+
+func TestAStarMatchesDijkstraOnIrregularGraph(t *testing.T) {
+	// A graph with a tempting-but-long straight shot and a zigzag shortcut.
+	b := NewBuilder(6, 8)
+	j := []JunctionID{
+		b.AddJunction(geom.Point{X: 0, Y: 0}),
+		b.AddJunction(geom.Point{X: 100, Y: 0}),
+		b.AddJunction(geom.Point{X: 200, Y: 0}),
+		b.AddJunction(geom.Point{X: 50, Y: 40}),
+		b.AddJunction(geom.Point{X: 150, Y: 40}),
+		b.AddJunction(geom.Point{X: 100, Y: 80}),
+	}
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 2}, {3, 5}, {5, 4}}
+	for _, e := range edges {
+		mustSeg(t, b, j[e[0]], j[e[1]])
+	}
+	g := b.Build()
+	f := func(a, c uint8) bool {
+		from := JunctionID(int(a) % g.NumJunctions())
+		to := JunctionID(int(c) % g.NumJunctions())
+		_, dD, errD := g.ShortestPath(from, to)
+		_, dA, errA := g.AStarPath(from, to)
+		if (errD == nil) != (errA == nil) {
+			return false
+		}
+		return errD != nil || math.Abs(dD-dA) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAStarErrors(t *testing.T) {
+	g := buildLadder(t)
+	if _, _, err := g.AStarPath(-1, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bad source err = %v", err)
+	}
+	if _, _, err := g.AStarPath(0, 99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bad target err = %v", err)
+	}
+	if path, d, err := g.AStarPath(3, 3); err != nil || len(path) != 0 || d != 0 {
+		t.Errorf("self path = %v, %v, %v", path, d, err)
+	}
+
+	b := NewBuilder(4, 2)
+	a := b.AddJunction(geom.Point{X: 0})
+	c := b.AddJunction(geom.Point{X: 1})
+	d := b.AddJunction(geom.Point{X: 9})
+	e := b.AddJunction(geom.Point{X: 10})
+	mustSeg(t, b, a, c)
+	mustSeg(t, b, d, e)
+	g2 := b.Build()
+	if _, _, err := g2.AStarPath(a, d); !errors.Is(err, ErrNoPath) {
+		t.Errorf("disconnected err = %v", err)
+	}
+}
+
+func TestAStarPathContiguous(t *testing.T) {
+	g := buildLadder(t)
+	path, dist, err := g.AStarPath(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i, sid := range path {
+		total += g.SegmentLength(sid)
+		if i > 0 && !g.Adjacent(path[i-1], sid) {
+			t.Fatalf("path not contiguous at %d", i)
+		}
+	}
+	if math.Abs(total-dist) > 1e-9 {
+		t.Errorf("length %v != dist %v", total, dist)
+	}
+}

@@ -1,0 +1,61 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphDTO is the JSON wire form of a Graph. Only primary data is encoded;
+// adjacency, bounds and the spatial index are rebuilt on load.
+type graphDTO struct {
+	Version   int        `json:"version"`
+	Junctions []Junction `json:"junctions"`
+	Segments  []Segment  `json:"segments"`
+}
+
+// codecVersion identifies the on-disk format.
+const codecVersion = 1
+
+// WriteJSON serializes the graph to w as JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	dto := graphDTO{
+		Version:   codecVersion,
+		Junctions: g.junctions,
+		Segments:  g.segments,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(dto); err != nil {
+		return fmt.Errorf("roadnet: encoding graph: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a graph written by WriteJSON and rebuilds all
+// derived structures.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var dto graphDTO
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("roadnet: decoding graph: %w", err)
+	}
+	if dto.Version != codecVersion {
+		return nil, fmt.Errorf("roadnet: unsupported graph version %d", dto.Version)
+	}
+	b := NewBuilder(len(dto.Junctions), len(dto.Segments))
+	for i, j := range dto.Junctions {
+		if j.ID != JunctionID(i) {
+			return nil, fmt.Errorf("roadnet: junction %d has non-dense ID %d", i, j.ID)
+		}
+		b.AddJunction(j.At)
+	}
+	for i, s := range dto.Segments {
+		if s.ID != SegmentID(i) {
+			return nil, fmt.Errorf("roadnet: segment %d has non-dense ID %d", i, s.ID)
+		}
+		if _, err := b.AddNamedSegment(s.A, s.B, s.Name); err != nil {
+			return nil, fmt.Errorf("roadnet: segment %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}

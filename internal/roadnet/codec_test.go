@@ -1,0 +1,80 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildLadder(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if g2.NumJunctions() != g.NumJunctions() || g2.NumSegments() != g.NumSegments() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			g2.NumJunctions(), g2.NumSegments(), g.NumJunctions(), g.NumSegments())
+	}
+	for i := 0; i < g.NumSegments(); i++ {
+		a, _ := g.Segment(SegmentID(i))
+		b, _ := g2.Segment(SegmentID(i))
+		if a != b {
+			t.Errorf("segment %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Derived data must be rebuilt identically.
+	for i := 0; i < g.NumSegments(); i++ {
+		n1 := g.Neighbors(SegmentID(i))
+		n2 := g2.Neighbors(SegmentID(i))
+		if len(n1) != len(n2) {
+			t.Fatalf("neighbors of %d differ", i)
+		}
+		for j := range n1 {
+			if n1[j] != n2[j] {
+				t.Fatalf("neighbors of %d differ at %d", i, j)
+			}
+		}
+	}
+	if g.Bounds() != g2.Bounds() {
+		t.Error("bounds differ after round trip")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage should not decode")
+	}
+}
+
+func TestReadJSONRejectsBadVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"junctions":[],"segments":[]}`)); err == nil {
+		t.Error("unknown version should be rejected")
+	}
+}
+
+func TestReadJSONRejectsNonDenseIDs(t *testing.T) {
+	in := `{"version":1,"junctions":[{"id":5,"at":{"x":0,"y":0}}],"segments":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("non-dense junction IDs should be rejected")
+	}
+	in2 := `{"version":1,
+		"junctions":[{"id":0,"at":{"x":0,"y":0}},{"id":1,"at":{"x":1,"y":0}}],
+		"segments":[{"id":3,"a":0,"b":1,"length":1}]}`
+	if _, err := ReadJSON(strings.NewReader(in2)); err == nil {
+		t.Error("non-dense segment IDs should be rejected")
+	}
+}
+
+func TestReadJSONRejectsInvalidTopology(t *testing.T) {
+	in := `{"version":1,
+		"junctions":[{"id":0,"at":{"x":0,"y":0}}],
+		"segments":[{"id":0,"a":0,"b":0,"length":0}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("self-loop in file should be rejected")
+	}
+}

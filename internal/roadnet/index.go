@@ -1,0 +1,151 @@
+package roadnet
+
+import (
+	"math"
+
+	"github.com/reversecloak/reversecloak/internal/geom"
+)
+
+// spatialIndex is a uniform grid over segment midpoints supporting nearest-
+// segment and range queries. It is built once per graph and read-only after.
+type spatialIndex struct {
+	cellSize float64
+	origin   geom.Point
+	cols     int
+	rows     int
+	cells    map[int][]SegmentID
+}
+
+// newSpatialIndex builds the index. Cell size is chosen so that cells hold a
+// handful of segments on average.
+func newSpatialIndex(g *Graph) *spatialIndex {
+	idx := &spatialIndex{cells: make(map[int][]SegmentID)}
+	n := len(g.segments)
+	if n == 0 || g.bounds.Empty() {
+		idx.cellSize = 1
+		idx.cols, idx.rows = 1, 1
+		return idx
+	}
+	b := g.bounds
+	idx.origin = b.Min
+	// Aim for ~2 segments per cell: cells ~ n/2.
+	target := math.Sqrt(b.Width() * b.Height() / math.Max(1, float64(n)/2))
+	if target <= 0 || math.IsNaN(target) {
+		target = 1
+	}
+	idx.cellSize = target
+	idx.cols = int(b.Width()/target) + 1
+	idx.rows = int(b.Height()/target) + 1
+	for _, s := range g.segments {
+		mid := g.Midpoint(s.ID)
+		idx.cells[idx.cellOf(mid)] = append(idx.cells[idx.cellOf(mid)], s.ID)
+	}
+	return idx
+}
+
+// cellOf maps a point to its cell key.
+func (idx *spatialIndex) cellOf(p geom.Point) int {
+	cx := int((p.X - idx.origin.X) / idx.cellSize)
+	cy := int((p.Y - idx.origin.Y) / idx.cellSize)
+	cx = clamp(cx, 0, idx.cols-1)
+	cy = clamp(cy, 0, idx.rows-1)
+	return cy*idx.cols + cx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NearestSegment returns the segment whose geometry is closest to p. It uses
+// the midpoint grid to examine expanding rings of cells and verifies against
+// true point-to-segment distance.
+func (g *Graph) NearestSegment(p geom.Point) (SegmentID, error) {
+	if len(g.segments) == 0 {
+		return InvalidSegment, ErrEmptyGraph
+	}
+	idx := g.index
+	cx := clamp(int((p.X-idx.origin.X)/idx.cellSize), 0, idx.cols-1)
+	cy := clamp(int((p.Y-idx.origin.Y)/idx.cellSize), 0, idx.rows-1)
+
+	best := InvalidSegment
+	bestDist := math.Inf(1)
+	maxRing := idx.cols
+	if idx.rows > maxRing {
+		maxRing = idx.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		found := false
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				// Only the ring boundary; the interior was covered already.
+				if ring > 0 && abs(dx) != ring && abs(dy) != ring {
+					continue
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= idx.cols || y < 0 || y >= idx.rows {
+					continue
+				}
+				for _, sid := range idx.cells[y*idx.cols+x] {
+					found = true
+					if d := g.distToSegment(p, sid); d < bestDist {
+						bestDist = d
+						best = sid
+					}
+				}
+			}
+		}
+		// Once something is found, one extra ring guarantees correctness for
+		// midpoint-indexed segments of bounded length.
+		if found && ring > 0 {
+			break
+		}
+		if found && ring == 0 {
+			// Scan one more ring in case a neighbour cell holds a closer one.
+			continue
+		}
+	}
+	if best == InvalidSegment {
+		// Fallback: exhaustive scan (tiny graphs or degenerate geometry).
+		for _, s := range g.segments {
+			if d := g.distToSegment(p, s.ID); d < bestDist {
+				bestDist = d
+				best = s.ID
+			}
+		}
+	}
+	return best, nil
+}
+
+// distToSegment returns the true distance from p to the segment's geometry.
+func (g *Graph) distToSegment(p geom.Point, id SegmentID) float64 {
+	seg := g.segments[id]
+	return geom.SegmentDist(p, g.junctions[seg.A].At, g.junctions[seg.B].At)
+}
+
+// SegmentsWithin returns the segments whose bounding boxes intersect the
+// query box, sorted by ID.
+func (g *Graph) SegmentsWithin(box geom.BBox) []SegmentID {
+	if box.Empty() || len(g.segments) == 0 {
+		return nil
+	}
+	var out []SegmentID
+	for _, s := range g.segments {
+		if g.SegmentBounds(s.ID).Intersects(box) {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+// Package temporal implements reversible temporal cloaking, the time
+// dimension of ReverseCloak. Algorithm 1 of the paper takes a temporal key
+// Kt and a temporal tolerance sigma_t alongside the spatial inputs:
+// spatio-temporal cloaking (Gruteser et al. [3]) hides not just where a
+// request was made but *when*, by coarsening the timestamp to a tolerance
+// window.
+//
+// The reversible construction mirrors the spatial side: the released
+// timestamp places the request in the correct sigma_t window (that much is
+// the intended public information) but shifts its position *within* the
+// window by a keyed pseudo-random offset. Holders of the temporal key
+// invert the shift and recover the exact instant; without the key every
+// instant of the window is equally likely.
+//
+// Multi-level operation chains windows of increasing tolerance, one key per
+// level, exactly like the spatial levels: peeling level i with Key_i
+// refines the timestamp from a sigma_t^i window to a sigma_t^(i-1) window.
+//
+// Instants must be representable in nanoseconds since the Unix epoch
+// (years 1678..2262), which covers every mobile trace.
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/prng"
+)
+
+// Errors returned by the temporal cloak.
+var (
+	// ErrBadTolerance reports a non-positive or non-increasing tolerance.
+	ErrBadTolerance = errors.New("temporal: bad tolerance")
+	// ErrBadLevel reports an out-of-range level.
+	ErrBadLevel = errors.New("temporal: bad level")
+)
+
+// Level is one temporal privacy level: a key and a window size.
+type Level struct {
+	// Key drives the in-window shift; holders can invert it.
+	Key []byte
+	// SigmaT is the tolerance window: the released time reveals the
+	// request's window of this size but nothing finer.
+	SigmaT time.Duration
+}
+
+// Cloak is a multi-level reversible temporal cloak. Construct with New;
+// a Cloak is immutable and safe for concurrent use.
+type Cloak struct {
+	levels []Level
+}
+
+// New validates the levels (positive, strictly ordered tolerances; non-empty
+// keys) and returns a Cloak. Levels are ordered L1..L(N-1), coarsest last,
+// mirroring the spatial profile.
+func New(levels []Level) (*Cloak, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("%w: no levels", ErrBadLevel)
+	}
+	for i, lv := range levels {
+		if lv.SigmaT <= 0 {
+			return nil, fmt.Errorf("%w: level %d sigma %v", ErrBadTolerance, i+1, lv.SigmaT)
+		}
+		if len(lv.Key) == 0 {
+			return nil, fmt.Errorf("%w: level %d has no key", ErrBadLevel, i+1)
+		}
+		if i > 0 && lv.SigmaT <= levels[i-1].SigmaT {
+			return nil, fmt.Errorf("%w: level %d sigma %v not above level %d sigma %v",
+				ErrBadTolerance, i+1, lv.SigmaT, i, levels[i-1].SigmaT)
+		}
+	}
+	cp := make([]Level, len(levels))
+	for i, lv := range levels {
+		cp[i] = Level{Key: append([]byte(nil), lv.Key...), SigmaT: lv.SigmaT}
+	}
+	return &Cloak{levels: cp}, nil
+}
+
+// Levels returns the number of temporal levels.
+func (c *Cloak) Levels() int { return len(c.levels) }
+
+// Anonymize cloaks a timestamp through every level, coarsest last. The
+// result sits in the same sigma_t^(N-1) window as t but at a keyed offset
+// within it.
+func (c *Cloak) Anonymize(t time.Time) time.Time {
+	out := t
+	for i, lv := range c.levels {
+		out = shift(out, lv.Key, i+1, lv.SigmaT)
+	}
+	return out
+}
+
+// Deanonymize inverts the cloak down to toLevel using the supplied keys
+// (keyed by level, as with the spatial engine). toLevel = 0 recovers the
+// exact instant.
+func (c *Cloak) Deanonymize(cloaked time.Time, keys map[int][]byte, toLevel int) (time.Time, error) {
+	if toLevel < 0 || toLevel > len(c.levels) {
+		return time.Time{}, fmt.Errorf("%w: to level %d of %d", ErrBadLevel, toLevel, len(c.levels))
+	}
+	out := cloaked
+	for lv := len(c.levels); lv > toLevel; lv-- {
+		key, ok := keys[lv]
+		if !ok || len(key) == 0 {
+			return time.Time{}, fmt.Errorf("%w: missing key for level %d", ErrBadLevel, lv)
+		}
+		out = unshift(out, key, lv, c.levels[lv-1].SigmaT)
+	}
+	return out, nil
+}
+
+// shift moves t to a keyed position within its sigma window: the window
+// index stays public, the in-window remainder is rotated by a PRF offset.
+func shift(t time.Time, key []byte, level int, sigma time.Duration) time.Time {
+	window, remainder := split(t, sigma)
+	offset := prfOffset(key, level, window, sigma)
+	newRem := (remainder + offset) % sigma
+	return time.Unix(0, window*int64(sigma)+int64(newRem)).UTC()
+}
+
+// unshift inverts shift.
+func unshift(t time.Time, key []byte, level int, sigma time.Duration) time.Time {
+	window, remainder := split(t, sigma)
+	offset := prfOffset(key, level, window, sigma)
+	newRem := (remainder - offset%sigma + sigma) % sigma
+	return time.Unix(0, window*int64(sigma)+int64(newRem)).UTC()
+}
+
+// split decomposes t into its window index and in-window remainder.
+func split(t time.Time, sigma time.Duration) (int64, time.Duration) {
+	ns := t.UnixNano()
+	window := ns / int64(sigma)
+	rem := ns % int64(sigma)
+	if rem < 0 { // normalize for pre-1970 instants
+		window--
+		rem += int64(sigma)
+	}
+	return window, time.Duration(rem)
+}
+
+// prfOffset derives the keyed in-window offset for one (level, window).
+func prfOffset(key []byte, level int, window int64, sigma time.Duration) time.Duration {
+	stream := prng.New(key, fmt.Sprintf("temporal/level=%d/window=%d", level, window))
+	return time.Duration(stream.At(0) % uint64(sigma))
+}

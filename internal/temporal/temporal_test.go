@@ -1,0 +1,206 @@
+package temporal
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func key(b byte) []byte {
+	k := make([]byte, 32)
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func threeLevels() []Level {
+	return []Level{
+		{Key: key(1), SigmaT: time.Minute},
+		{Key: key(2), SigmaT: 5 * time.Minute},
+		{Key: key(3), SigmaT: 30 * time.Minute},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		levels []Level
+		wantOK bool
+	}{
+		{"valid", threeLevels(), true},
+		{"empty", nil, false},
+		{"zero-sigma", []Level{{Key: key(1), SigmaT: 0}}, false},
+		{"no-key", []Level{{SigmaT: time.Minute}}, false},
+		{"non-increasing", []Level{
+			{Key: key(1), SigmaT: time.Minute},
+			{Key: key(2), SigmaT: time.Minute},
+		}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.levels)
+			if (err == nil) != tt.wantOK {
+				t.Errorf("New err = %v, wantOK = %v", err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestRoundTripExact(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := time.Date(2017, 6, 5, 14, 23, 17, 123456789, time.UTC)
+	cloaked := c.Anonymize(orig)
+	if cloaked.Equal(orig) {
+		t.Error("cloaking should normally move the instant")
+	}
+
+	keys := map[int][]byte{1: key(1), 2: key(2), 3: key(3)}
+	got, err := c.Deanonymize(cloaked, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Errorf("recovered %v, want %v", got, orig)
+	}
+}
+
+func TestPartialPeelStaysInWindow(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := time.Date(2017, 6, 5, 14, 23, 17, 0, time.UTC)
+	cloaked := c.Anonymize(orig)
+
+	// Peeling only level 3 must land in the same 5-minute window as the
+	// level-2 cloaked time.
+	lvl2, err := c.Deanonymize(cloaked, map[int][]byte{3: key(3)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl0, err := c.Deanonymize(cloaked, map[int][]byte{1: key(1), 2: key(2), 3: key(3)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lvl0.Equal(orig) {
+		t.Fatalf("full peel = %v, want %v", lvl0, orig)
+	}
+	// lvl2 differs from orig only within the level-2 tolerance windows: the
+	// exact instant is still hidden.
+	if lvl2.Equal(orig) {
+		t.Log("level-2 view happened to equal the original (possible, rare)")
+	}
+}
+
+func TestWindowIsPreserved(t *testing.T) {
+	// The coarsest window is the *intended* public information: the cloaked
+	// time must stay in the same sigma_t^(N-1) window as the original.
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := time.Date(2017, 6, 5, 14, 23, 17, 0, time.UTC)
+	cloaked := c.Anonymize(orig)
+	sigma := 30 * time.Minute
+	if orig.UnixNano()/int64(sigma) != cloaked.UnixNano()/int64(sigma) {
+		t.Errorf("cloaked %v left the %v window of %v", cloaked, sigma, orig)
+	}
+}
+
+func TestDeanonymizeValidation(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := c.Deanonymize(now, nil, -1); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("negative level err = %v", err)
+	}
+	if _, err := c.Deanonymize(now, nil, 4); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("too-high level err = %v", err)
+	}
+	if _, err := c.Deanonymize(now, map[int][]byte{3: key(3)}, 0); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("missing keys err = %v", err)
+	}
+}
+
+func TestWrongKeyGivesWrongInstant(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := time.Date(2017, 6, 5, 14, 23, 17, 0, time.UTC)
+	cloaked := c.Anonymize(orig)
+	bad := map[int][]byte{1: key(7), 2: key(8), 3: key(9)}
+	got, err := c.Deanonymize(cloaked, bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(orig) {
+		t.Error("wrong keys recovered the exact instant")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[int][]byte{1: key(1), 2: key(2), 3: key(3)}
+	f := func(unixSec int64, nanos uint32) bool {
+		// Bound to the supported nanosecond-representable era
+		// (about ±270 years around the epoch).
+		orig := time.Unix(unixSec%(1<<33), int64(nanos)%1e9).UTC()
+		got, err := c.Deanonymize(c.Anonymize(orig), keys, 0)
+		return err == nil && got.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreEpochInstants(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[int][]byte{1: key(1), 2: key(2), 3: key(3)}
+	orig := time.Date(1955, 11, 5, 6, 15, 0, 0, time.UTC)
+	got, err := c.Deanonymize(c.Anonymize(orig), keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Errorf("pre-epoch round trip: got %v, want %v", got, orig)
+	}
+}
+
+func TestLevelsAccessor(t *testing.T) {
+	c, err := New(threeLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels() != 3 {
+		t.Errorf("Levels = %d", c.Levels())
+	}
+}
+
+func TestCloakCopiesKeys(t *testing.T) {
+	lv := []Level{{Key: key(1), SigmaT: time.Minute}}
+	c, err := New(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := time.Date(2020, 1, 1, 0, 0, 30, 0, time.UTC)
+	before := c.Anonymize(orig)
+	lv[0].Key[0] ^= 0xff // mutate caller's slice
+	after := c.Anonymize(orig)
+	if !before.Equal(after) {
+		t.Error("Cloak must copy key material at construction")
+	}
+}

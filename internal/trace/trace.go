@@ -1,0 +1,353 @@
+// Package trace generates mobile-user workloads over road networks,
+// substituting for the GTMobiSim trace generator used in the paper's
+// demonstration: "There are 10,000 cars randomly generated along the roads
+// based on Gaussian distribution. Once a car is generated, the associated
+// destination is also randomly chosen and the route selection is based on
+// shortest path routing."
+//
+// The same generative model is implemented here: cars are placed by a
+// Gaussian mixture anchored at hotspot junctions, each car draws a uniform
+// destination and follows the shortest path, and the simulation advances in
+// time steps. Cloaking consumes only the per-segment occupancy counts, which
+// is exactly what location k-anonymity is defined over.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/reversecloak/reversecloak/internal/geom"
+	"github.com/reversecloak/reversecloak/internal/prng"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// Errors returned by New.
+var (
+	// ErrBadConfig reports an invalid simulation configuration.
+	ErrBadConfig = errors.New("trace: bad config")
+)
+
+// Config describes a workload.
+type Config struct {
+	// Cars is the number of mobile users to generate. The paper's preset is
+	// 10,000.
+	Cars int
+	// Hotspots is the number of Gaussian mixture components used for
+	// placement. Defaults to 5.
+	Hotspots int
+	// SigmaFraction is the standard deviation of each Gaussian as a fraction
+	// of the map diagonal. Defaults to 0.15.
+	SigmaFraction float64
+	// MinSpeed and MaxSpeed bound car speeds in meters/second. Default to
+	// 8 and 20 (roughly 30-70 km/h).
+	MinSpeed, MaxSpeed float64
+	// Routing controls whether cars receive shortest-path routes and move
+	// when the simulation steps. Static placement (Routing=false) is much
+	// cheaper and sufficient for cloaking snapshots.
+	Routing bool
+	// Seed keys the deterministic generator. Required.
+	Seed []byte
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Hotspots == 0 {
+		c.Hotspots = 5
+	}
+	if c.SigmaFraction == 0 {
+		c.SigmaFraction = 0.15
+	}
+	if c.MinSpeed == 0 {
+		c.MinSpeed = 8
+	}
+	if c.MaxSpeed == 0 {
+		c.MaxSpeed = 20
+	}
+	return c
+}
+
+// validate rejects impossible configurations.
+func (c Config) validate() error {
+	if c.Cars < 0 {
+		return fmt.Errorf("%w: negative car count %d", ErrBadConfig, c.Cars)
+	}
+	if c.Hotspots < 1 {
+		return fmt.Errorf("%w: need at least one hotspot", ErrBadConfig)
+	}
+	if c.SigmaFraction < 0 {
+		return fmt.Errorf("%w: negative sigma", ErrBadConfig)
+	}
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("%w: speed range [%v, %v]", ErrBadConfig, c.MinSpeed, c.MaxSpeed)
+	}
+	if len(c.Seed) == 0 {
+		return fmt.Errorf("%w: seed is required", ErrBadConfig)
+	}
+	return nil
+}
+
+// Car is one mobile user.
+type Car struct {
+	ID      int
+	Segment roadnet.SegmentID // current segment
+	Offset  float64           // meters along the segment from FromJ
+	FromJ   roadnet.JunctionID
+	Speed   float64 // m/s
+	Dest    roadnet.JunctionID
+
+	route    []roadnet.SegmentID
+	routeIdx int
+}
+
+// Simulation is a deterministic mobile-user simulation over one road
+// network. It is not safe for concurrent use.
+type Simulation struct {
+	g    *roadnet.Graph
+	cfg  Config
+	cars []Car
+	// occupancy[s] is the number of cars currently on segment s.
+	occupancy []int
+	cur       *prng.Cursor
+	now       float64
+}
+
+// New builds a simulation: places hotspots, generates cars and, when
+// cfg.Routing is set, routes each car to its destination.
+func New(g *roadnet.Graph, cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g.NumSegments() == 0 {
+		return nil, fmt.Errorf("%w: empty graph", ErrBadConfig)
+	}
+	s := &Simulation{
+		g:         g,
+		cfg:       cfg,
+		occupancy: make([]int, g.NumSegments()),
+		cur:       prng.NewCursor(prng.New(cfg.Seed, "trace")),
+	}
+
+	// Hotspot centers are random junctions.
+	centers := make([]geom.Point, cfg.Hotspots)
+	for i := range centers {
+		j, err := g.Junction(roadnet.JunctionID(s.cur.Intn(g.NumJunctions())))
+		if err != nil {
+			return nil, fmt.Errorf("trace: hotspot: %w", err)
+		}
+		centers[i] = j.At
+	}
+	sigma := g.Bounds().Diagonal() * cfg.SigmaFraction
+
+	for i := 0; i < cfg.Cars; i++ {
+		car, err := s.generateCar(i, centers, sigma)
+		if err != nil {
+			return nil, err
+		}
+		s.cars = append(s.cars, car)
+		s.occupancy[car.Segment]++
+	}
+	return s, nil
+}
+
+// generateCar places one car by Gaussian sampling around a hotspot and
+// optionally routes it.
+func (s *Simulation) generateCar(id int, centers []geom.Point, sigma float64) (Car, error) {
+	center := centers[s.cur.Intn(len(centers))]
+	pt := geom.Point{
+		X: center.X + s.cur.NormFloat64()*sigma,
+		Y: center.Y + s.cur.NormFloat64()*sigma,
+	}
+	sid, err := s.g.NearestSegment(pt)
+	if err != nil {
+		return Car{}, fmt.Errorf("trace: placing car %d: %w", id, err)
+	}
+	seg, err := s.g.Segment(sid)
+	if err != nil {
+		return Car{}, fmt.Errorf("trace: placing car %d: %w", id, err)
+	}
+	car := Car{
+		ID:      id,
+		Segment: sid,
+		Offset:  s.cur.Float64() * seg.Length,
+		FromJ:   seg.A,
+		Speed:   s.cfg.MinSpeed + s.cur.Float64()*(s.cfg.MaxSpeed-s.cfg.MinSpeed),
+	}
+	if !s.cfg.Routing {
+		return car, nil
+	}
+	return s.routeCar(car)
+}
+
+// routeCar assigns a fresh destination and shortest-path route starting from
+// the far endpoint of the car's current segment.
+func (s *Simulation) routeCar(car Car) (Car, error) {
+	seg, err := s.g.Segment(car.Segment)
+	if err != nil {
+		return Car{}, fmt.Errorf("trace: routing car %d: %w", car.ID, err)
+	}
+	start := seg.B
+	if car.FromJ == seg.B {
+		start = seg.A
+	}
+	// Uniform destination; retry a few times if unreachable (possible only
+	// on disconnected graphs).
+	const maxTries = 8
+	for try := 0; try < maxTries; try++ {
+		dest := roadnet.JunctionID(s.cur.Intn(s.g.NumJunctions()))
+		if dest == start {
+			continue
+		}
+		path, _, err := s.g.AStarPath(start, dest)
+		if errors.Is(err, roadnet.ErrNoPath) {
+			continue
+		}
+		if err != nil {
+			return Car{}, fmt.Errorf("trace: routing car %d: %w", car.ID, err)
+		}
+		car.Dest = dest
+		car.route = path
+		car.routeIdx = -1 // still finishing the current segment
+		return car, nil
+	}
+	// Keep the car parked if no destination was reachable.
+	car.route = nil
+	car.routeIdx = -1
+	return car, nil
+}
+
+// Graph returns the underlying road network.
+func (s *Simulation) Graph() *roadnet.Graph { return s.g }
+
+// NumCars returns the number of cars.
+func (s *Simulation) NumCars() int { return len(s.cars) }
+
+// Cars returns a copy of all car states.
+func (s *Simulation) Cars() []Car {
+	out := make([]Car, len(s.cars))
+	copy(out, s.cars)
+	return out
+}
+
+// Car returns the state of the car with the given ID.
+func (s *Simulation) Car(id int) (Car, error) {
+	if id < 0 || id >= len(s.cars) {
+		return Car{}, fmt.Errorf("trace: car %d: not found", id)
+	}
+	return s.cars[id], nil
+}
+
+// UsersOn returns the number of cars currently on segment sid. It is the
+// density input to location k-anonymity.
+func (s *Simulation) UsersOn(sid roadnet.SegmentID) int {
+	if int(sid) < 0 || int(sid) >= len(s.occupancy) {
+		return 0
+	}
+	return s.occupancy[sid]
+}
+
+// Counts returns a copy of the per-segment occupancy histogram.
+func (s *Simulation) Counts() []int {
+	out := make([]int, len(s.occupancy))
+	copy(out, s.occupancy)
+	return out
+}
+
+// Position returns the planar position of a car.
+func (s *Simulation) Position(car Car) geom.Point {
+	seg, err := s.g.Segment(car.Segment)
+	if err != nil {
+		return geom.Point{}
+	}
+	a, b, err := s.g.Endpoints(car.Segment)
+	if err != nil {
+		return geom.Point{}
+	}
+	if car.FromJ == seg.B {
+		a, b = b, a
+	}
+	if seg.Length == 0 {
+		return a
+	}
+	t := car.Offset / seg.Length
+	if t > 1 {
+		t = 1
+	}
+	return a.Lerp(b, t)
+}
+
+// Time returns the simulation clock in seconds.
+func (s *Simulation) Time() float64 { return s.now }
+
+// Step advances all cars by dt seconds. Cars without routes stay parked.
+// When a car finishes its route it draws a new destination.
+func (s *Simulation) Step(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("%w: non-positive dt %v", ErrBadConfig, dt)
+	}
+	if !s.cfg.Routing {
+		s.now += dt
+		return nil
+	}
+	for i := range s.cars {
+		if err := s.advance(&s.cars[i], s.cars[i].Speed*dt); err != nil {
+			return fmt.Errorf("trace: stepping car %d: %w", s.cars[i].ID, err)
+		}
+	}
+	s.now += dt
+	return nil
+}
+
+// advance moves one car the given distance in meters along its route.
+func (s *Simulation) advance(car *Car, dist float64) error {
+	for dist > 0 {
+		seg, err := s.g.Segment(car.Segment)
+		if err != nil {
+			return err
+		}
+		remain := seg.Length - car.Offset
+		if dist < remain {
+			car.Offset += dist
+			return nil
+		}
+		dist -= remain
+
+		// Cross into the next route segment.
+		exitJ := seg.B
+		if car.FromJ == seg.B {
+			exitJ = seg.A
+		}
+		next := car.routeIdx + 1
+		if car.route == nil || next >= len(car.route) {
+			// Route finished: stand at the end of this segment and re-route.
+			car.Offset = seg.Length
+			rerouted, err := s.routeCar(*car)
+			if err != nil {
+				return err
+			}
+			*car = rerouted
+			// Snap to the start of the new leg: the car is at exitJ.
+			car.Offset = seg.Length
+			if len(car.route) == 0 {
+				return nil // parked
+			}
+			// Enter the first route segment from exitJ.
+			s.enterSegment(car, car.route[0], exitJ)
+			car.routeIdx = 0
+			continue
+		}
+		s.enterSegment(car, car.route[next], exitJ)
+		car.routeIdx = next
+	}
+	return nil
+}
+
+// enterSegment moves the car bookkeeping onto segment sid entered at
+// junction from.
+func (s *Simulation) enterSegment(car *Car, sid roadnet.SegmentID, from roadnet.JunctionID) {
+	s.occupancy[car.Segment]--
+	car.Segment = sid
+	car.FromJ = from
+	car.Offset = 0
+	s.occupancy[sid]++
+}

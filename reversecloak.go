@@ -1,0 +1,267 @@
+// Package reversecloak is a reversible multi-level location privacy
+// protection system over road networks, reproducing Li, Palanisamy,
+// Kalaivanan and Raghunathan, "ReverseCloak: A Reversible Multi-level
+// Location Privacy Protection System" (ICDCS 2017) and the underlying
+// algorithms of Li and Palanisamy (CIKM 2015).
+//
+// ReverseCloak perturbs a mobile user's exact road segment into a cloaking
+// region that is location k-anonymous and segment l-diverse. Unlike
+// conventional one-way cloaking, the region is built by keyed pseudo-random
+// expansion: every added segment is chosen by a per-level secret key, so a
+// data requester holding the keys of the upper privacy levels can peel them
+// off to obtain a finer region — down to the exact segment with all keys —
+// while without the keys the region reveals nothing more, even to an
+// adversary that knows the algorithm.
+//
+// # Quick start
+//
+//	g, _ := reversecloak.GenerateMap(reversecloak.MapConfig{
+//		Junctions: 400, Segments: 527, Seed: seed,
+//	})
+//	sim, _ := reversecloak.NewSimulation(g, reversecloak.WorkloadConfig{
+//		Cars: 2000, Seed: seed,
+//	})
+//	engine, _ := reversecloak.NewRGEEngine(g, sim.UsersOn)
+//	keys, _ := reversecloak.AutoGenerateKeys(3)
+//	region, _, _ := engine.Anonymize(reversecloak.Request{
+//		UserSegment: userSeg,
+//		Profile:     reversecloak.DefaultProfile(),
+//		Keys:        keys.All(),
+//	})
+//	// A requester holding keys 2 and 3 reduces the region to level 1:
+//	grant, _ := keys.Grant(1)
+//	finer, _ := engine.Deanonymize(region, grant, 1)
+//
+// The package is a façade: the implementation lives in internal packages
+// (roadnet, cloak, trace, ...) and is re-exported here as one coherent,
+// documented surface.
+package reversecloak
+
+import (
+	"io"
+
+	"github.com/reversecloak/reversecloak/internal/anonymizer"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/geom"
+	"github.com/reversecloak/reversecloak/internal/keys"
+	"github.com/reversecloak/reversecloak/internal/mapgen"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/query"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+	"github.com/reversecloak/reversecloak/internal/temporal"
+	"github.com/reversecloak/reversecloak/internal/trace"
+	"github.com/reversecloak/reversecloak/internal/viz"
+)
+
+// Core geometric and road-network types.
+type (
+	// Point is a planar map coordinate in meters.
+	Point = geom.Point
+	// BBox is an axis-aligned bounding box.
+	BBox = geom.BBox
+	// Graph is an immutable road network of junctions and segments.
+	Graph = roadnet.Graph
+	// GraphBuilder assembles road networks.
+	GraphBuilder = roadnet.Builder
+	// SegmentID identifies a road segment.
+	SegmentID = roadnet.SegmentID
+	// JunctionID identifies a junction.
+	JunctionID = roadnet.JunctionID
+	// Segment is one road segment.
+	Segment = roadnet.Segment
+	// Junction is one road intersection.
+	Junction = roadnet.Junction
+)
+
+// Cloaking types.
+type (
+	// Engine anonymizes and de-anonymizes locations.
+	Engine = cloak.Engine
+	// Request is one anonymization request.
+	Request = cloak.Request
+	// CloakedRegion is the published multi-level cloak.
+	CloakedRegion = cloak.CloakedRegion
+	// LevelMeta is the public per-level metadata.
+	LevelMeta = cloak.LevelMeta
+	// Algorithm selects RGE or RPLE.
+	Algorithm = cloak.Algorithm
+	// DensityFunc reports users per segment.
+	DensityFunc = cloak.DensityFunc
+	// Preassignment holds RPLE's pre-assigned transition lists.
+	Preassignment = cloak.Preassignment
+	// TransitionTable is the RGE transition table (Fig. 2).
+	TransitionTable = cloak.TransitionTable
+	// Trace is the anonymizer-side audit record (never publish it).
+	Trace = cloak.Trace
+)
+
+// Profile and key management types.
+type (
+	// Profile is a user-defined multi-level privacy profile.
+	Profile = profile.Profile
+	// Level is one level's (k, l, sigma_s) requirement.
+	Level = profile.Level
+	// KeySet holds per-level anonymization keys.
+	KeySet = keys.Set
+)
+
+// Workload types.
+type (
+	// Simulation is a GTMobiSim-style mobile user simulation.
+	Simulation = trace.Simulation
+	// WorkloadConfig configures a simulation.
+	WorkloadConfig = trace.Config
+	// Car is one simulated mobile user.
+	Car = trace.Car
+)
+
+// Map generation types.
+type (
+	// MapConfig configures synthetic road-network generation.
+	MapConfig = mapgen.Config
+)
+
+// Service types.
+type (
+	// Server is the trusted anonymization server.
+	Server = anonymizer.Server
+	// Client talks to a Server.
+	Client = anonymizer.Client
+)
+
+// Query types.
+type (
+	// POI is a point of interest.
+	POI = query.POI
+	// POIIndex answers range queries over POIs.
+	POIIndex = query.Index
+)
+
+// Visualization types.
+type (
+	// RenderLayer is one set of segments drawn with a glyph/color.
+	RenderLayer = viz.Layer
+)
+
+// Temporal cloaking types.
+type (
+	// TemporalCloak reversibly coarsens timestamps through keyed tolerance
+	// windows (the sigma_t / Kt dimension of Algorithm 1).
+	TemporalCloak = temporal.Cloak
+	// TemporalLevel is one temporal privacy level (key + window).
+	TemporalLevel = temporal.Level
+)
+
+// Algorithms.
+const (
+	// RGE is Reversible Global Expansion.
+	RGE = cloak.RGE
+	// RPLE is Reversible Pre-assignment-based Local Expansion.
+	RPLE = cloak.RPLE
+)
+
+// Re-exported sentinel errors for errors.Is checks at the API boundary.
+var (
+	// ErrCloakFailed reports an unsatisfiable privacy level.
+	ErrCloakFailed = cloak.ErrCloakFailed
+	// ErrMissingKey reports de-anonymization without a required key.
+	ErrMissingKey = cloak.ErrMissingKey
+	// ErrIrreversible reports a failed reversal (wrong key or tampering).
+	ErrIrreversible = cloak.ErrIrreversible
+)
+
+// NewRGEEngine builds an engine using Reversible Global Expansion.
+func NewRGEEngine(g *Graph, density DensityFunc) (*Engine, error) {
+	return cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+}
+
+// NewRPLEEngine builds an engine using Reversible Pre-assignment-based
+// Local Expansion, computing the transition tables for the graph.
+// listLength is T, the per-segment transition list length; pass 0 for the
+// default.
+func NewRPLEEngine(g *Graph, density DensityFunc, listLength int) (*Engine, error) {
+	if listLength == 0 {
+		listLength = cloak.DefaultTransitionListLength
+	}
+	pre, err := cloak.NewPreassignment(g, listLength)
+	if err != nil {
+		return nil, err
+	}
+	return cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RPLE, Pre: pre})
+}
+
+// GenerateMap synthesizes a road network (see MapConfig).
+func GenerateMap(cfg MapConfig) (*Graph, error) { return mapgen.Generate(cfg) }
+
+// ReadMap deserializes a road network written by Graph.WriteJSON.
+func ReadMap(r io.Reader) (*Graph, error) { return roadnet.ReadJSON(r) }
+
+// AtlantaNW generates the paper-scale evaluation network: 6,979 junctions
+// and 9,187 segments, the size of the USGS Atlanta-NW extract.
+func AtlantaNW(seed []byte) (*Graph, error) { return mapgen.AtlantaNW(seed) }
+
+// SmallMap generates a ~400-junction test network with Atlanta-like
+// density.
+func SmallMap(seed []byte) (*Graph, error) { return mapgen.Small(seed) }
+
+// GridMap generates an exact cols x rows grid network.
+func GridMap(cols, rows int, spacing float64) (*Graph, error) {
+	return mapgen.Grid(cols, rows, spacing)
+}
+
+// FigureOneMap builds the paper's Fig. 1 demonstration graph and returns
+// it with the user's segment s18.
+func FigureOneMap() (*Graph, SegmentID, error) { return mapgen.FigureOne() }
+
+// NewSimulation builds a GTMobiSim-style workload over the graph.
+func NewSimulation(g *Graph, cfg WorkloadConfig) (*Simulation, error) {
+	return trace.New(g, cfg)
+}
+
+// AutoGenerateKeys creates fresh independent keys for the given number of
+// privacy levels (the toolkit's "Auto key generation").
+func AutoGenerateKeys(levels int) (*KeySet, error) { return keys.AutoGenerate(levels) }
+
+// KeysFromHex imports keys exported by KeySet.EncodeHex.
+func KeysFromHex(encoded []string) (*KeySet, error) { return keys.DecodeHex(encoded) }
+
+// DefaultProfile returns the toolkit's "Default setting" profile: three
+// levels with doubling anonymity.
+func DefaultProfile() Profile { return profile.Default() }
+
+// UniformProfile builds an N-level profile with geometrically growing k.
+func UniformProfile(levels, baseK, baseL int, sigma0 float64) Profile {
+	return profile.Uniform(levels, baseK, baseL, sigma0)
+}
+
+// NewServer builds a trusted anonymization server from per-algorithm
+// engines.
+func NewServer(engines map[Algorithm]*Engine) (*Server, error) {
+	return anonymizer.NewServer(engines)
+}
+
+// DialServer connects to a trusted anonymization server.
+func DialServer(addr string) (*Client, error) { return anonymizer.Dial(addr) }
+
+// GeneratePOIs places n POIs uniformly along the network.
+func GeneratePOIs(g *Graph, n int, seed []byte) ([]POI, error) {
+	return query.GeneratePOIs(g, n, seed)
+}
+
+// NewPOIIndex builds a range-query index over POIs.
+func NewPOIIndex(g *Graph, pois []POI) *POIIndex { return query.NewIndex(g, pois) }
+
+// RenderASCII draws the network and region layers as an ASCII map.
+func RenderASCII(g *Graph, w, h int, layers ...RenderLayer) (string, error) {
+	return viz.RenderASCII(g, w, h, layers...)
+}
+
+// WriteSVG writes the network and region layers as an SVG document.
+func WriteSVG(w io.Writer, g *Graph, width int, layers ...RenderLayer) error {
+	return viz.WriteSVG(w, g, width, layers...)
+}
+
+// NewTemporalCloak builds a multi-level reversible temporal cloak.
+func NewTemporalCloak(levels []TemporalLevel) (*TemporalCloak, error) {
+	return temporal.New(levels)
+}

@@ -1,0 +1,227 @@
+package reversecloak_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	rc "github.com/reversecloak/reversecloak"
+)
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+// TestFacadeQuickstart runs the package-documentation quick start end to
+// end through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	g, err := rc.GenerateMap(rc.MapConfig{Junctions: 400, Segments: 527, Seed: seed(1)})
+	if err != nil {
+		t.Fatalf("GenerateMap: %v", err)
+	}
+	sim, err := rc.NewSimulation(g, rc.WorkloadConfig{Cars: 3000, Seed: seed(2)})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	engine, err := rc.NewRGEEngine(g, sim.UsersOn)
+	if err != nil {
+		t.Fatalf("NewRGEEngine: %v", err)
+	}
+	ks, err := rc.AutoGenerateKeys(3)
+	if err != nil {
+		t.Fatalf("AutoGenerateKeys: %v", err)
+	}
+	user := rc.SegmentID(100)
+	region, _, err := engine.Anonymize(rc.Request{
+		UserSegment: user,
+		Profile:     rc.DefaultProfile(),
+		Keys:        ks.All(),
+	})
+	if errors.Is(err, rc.ErrCloakFailed) {
+		// The random workload can make a particular segment infeasible;
+		// pick another one.
+		user = rc.SegmentID(200)
+		region, _, err = engine.Anonymize(rc.Request{
+			UserSegment: user,
+			Profile:     rc.DefaultProfile(),
+			Keys:        ks.All(),
+		})
+	}
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if !region.Contains(user) {
+		t.Error("region must contain the user")
+	}
+
+	grant, err := ks.Grant(1)
+	if err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	finer, err := engine.Deanonymize(region, grant, 1)
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if finer.PrivacyLevel() != 1 {
+		t.Errorf("privacy level = %d, want 1", finer.PrivacyLevel())
+	}
+	if len(finer.Segments) >= len(region.Segments) {
+		t.Error("peeling must shrink the region")
+	}
+
+	full, err := ks.Grant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := engine.Deanonymize(region, full, 0)
+	if err != nil {
+		t.Fatalf("full Deanonymize: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != user {
+		t.Errorf("L0 = %v, want [%d]", l0.Segments, user)
+	}
+}
+
+func TestFacadeRPLE(t *testing.T) {
+	g, err := rc.GridMap(10, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := rc.NewRPLEEngine(g, func(rc.SegmentID) int { return 2 }, 0)
+	if err != nil {
+		t.Fatalf("NewRPLEEngine: %v", err)
+	}
+	ks, err := rc.AutoGenerateKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := rc.UniformProfile(2, 6, 3, 0)
+	region, _, err := engine.Anonymize(rc.Request{UserSegment: 40, Profile: prof, Keys: ks.All()})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	grant, err := ks.Grant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := engine.Deanonymize(region, grant, 0)
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if len(l0.Segments) != 1 || l0.Segments[0] != 40 {
+		t.Errorf("L0 = %v", l0.Segments)
+	}
+}
+
+func TestFacadeFigureOne(t *testing.T) {
+	g, s18, err := rc.FigureOneMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSegments() != 24 {
+		t.Errorf("segments = %d", g.NumSegments())
+	}
+	if seg, err := g.Segment(s18); err != nil || seg.Name != "s18" {
+		t.Errorf("s18 lookup = %+v, %v", seg, err)
+	}
+}
+
+func TestFacadeVisualization(t *testing.T) {
+	g, err := rc.GridMap(6, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := rc.RenderASCII(g, 40, 20, rc.RenderLayer{
+		Segments: []rc.SegmentID{0, 1}, Glyph: '#',
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art, "#") {
+		t.Error("layer missing from ASCII render")
+	}
+	var buf bytes.Buffer
+	if err := rc.WriteSVG(&buf, g, 300, rc.RenderLayer{
+		Segments: []rc.SegmentID{0}, Color: "#112233",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#112233") {
+		t.Error("layer missing from SVG")
+	}
+}
+
+func TestFacadePOIQueries(t *testing.T) {
+	g, err := rc.GridMap(8, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois, err := rc.GeneratePOIs(g, 50, seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := rc.NewPOIIndex(g, pois)
+	if ix.NumPOIs() != 50 {
+		t.Errorf("pois = %d", ix.NumPOIs())
+	}
+	got, err := ix.RangeCloaked([]rc.SegmentID{0, 1, 2}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = got // size depends on placement; the call shape is what's under test
+}
+
+func TestFacadeServerFlow(t *testing.T) {
+	g, err := rc.GridMap(10, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := rc.NewRGEEngine(g, func(rc.SegmentID) int { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rc.NewServer(map[rc.Algorithm]*rc.Engine{rc.RGE: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	c, err := rc.DialServer(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	id, region, err := c.Anonymize(42, rc.UniformProfile(2, 6, 3, 0), "RGE")
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if id == "" || region == nil {
+		t.Fatal("missing registration")
+	}
+}
+
+func TestKeysHexRoundTripThroughFacade(t *testing.T) {
+	ks, err := rc.AutoGenerateKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks2, err := rc.KeysFromHex(ks.EncodeHex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks2.Levels() != 2 {
+		t.Errorf("levels = %d", ks2.Levels())
+	}
+}
