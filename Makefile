@@ -1,0 +1,40 @@
+# Local verification mirrors .github/workflows/ci.yml: the same commands,
+# so green locally means green in CI.
+
+GO ?= go
+
+.PHONY: all build test test-full race bench fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Fast suite, what CI runs on every push (experiment harness skipped).
+test:
+	$(GO) test -short ./...
+
+# Full suite including the ~30s experiment harness (tier-1 verify).
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/anonymizer ./internal/cloak
+
+# Full experiment harness + service throughput benchmarks (the nightly job).
+bench:
+	$(GO) run ./cmd/reversecloak-bench -json bench-results.json
+	$(GO) test -run xxx -bench 'BenchmarkServerThroughput|BenchmarkAnonymizeBatch' -benchtime 2000x ./internal/anonymizer
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything the blocking CI jobs run.
+ci: fmt-check vet build test race

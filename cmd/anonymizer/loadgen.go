@@ -1,0 +1,147 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rc "github.com/reversecloak/reversecloak"
+)
+
+// runLoadgen sweeps concurrent-client counts against a running server and
+// reports the achieved registration throughput per step.
+func runLoadgen(argv []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7080", "server address")
+		sweep    = fs.String("clients", "1,4,16,64", "comma-separated concurrent client counts")
+		duration = fs.Duration("duration", 3*time.Second, "measurement window per step")
+		kAnon    = fs.Int("k", 8, "anonymity k of the single-level test profile")
+		lDiv     = fs.Int("l", 4, "diversity l of the single-level test profile")
+		batch    = fs.Int("batch", 0, "items per anonymize_batch request (0 = single ops)")
+		segments = fs.Int("segments", 500, "spread users over segment IDs [0, segments)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	counts, err := parseInts(*sweep)
+	if err != nil {
+		return fmt.Errorf("parsing -clients: %w", err)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("empty -clients sweep")
+	}
+	prof := rc.Profile{Levels: []rc.Level{{K: *kAnon, L: *lDiv}}}
+
+	// Fail fast if the server is unreachable.
+	probe, err := rc.DialServer(*addr)
+	if err != nil {
+		return err
+	}
+	if err := probe.Ping(); err != nil {
+		_ = probe.Close()
+		return err
+	}
+	_ = probe.Close()
+
+	fmt.Printf("loadgen against %s: %v clients, %s per step, batch=%d\n",
+		*addr, counts, *duration, *batch)
+	fmt.Printf("%-10s %12s %12s %10s %10s\n", "clients", "req/s", "ok", "failed", "speedup")
+	var base float64
+	for _, n := range counts {
+		reqs, fails, err := runStep(*addr, n, *duration, prof, *batch, *segments)
+		if err != nil {
+			return fmt.Errorf("step clients=%d: %w", n, err)
+		}
+		rate := float64(reqs) / duration.Seconds()
+		if base == 0 && rate > 0 {
+			base = rate
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = rate / base
+		}
+		fmt.Printf("%-10d %12.0f %12d %10d %9.2fx\n", n, rate, reqs-fails, fails, speedup)
+	}
+	return nil
+}
+
+// runStep drives n concurrent clients (one connection each) for the window
+// and returns the completed and failed request counts. Cloak failures count
+// as completed requests — the server did the work — while transport errors
+// abort the step.
+func runStep(
+	addr string,
+	n int,
+	window time.Duration,
+	prof rc.Profile,
+	batch, segments int,
+) (int64, int64, error) {
+	clients := make([]*rc.Client, n)
+	for i := range clients {
+		c, err := rc.DialServer(addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer func() { _ = c.Close() }()
+		clients[i] = c
+	}
+	var (
+		done      atomic.Int64
+		failed    atomic.Int64
+		transport atomic.Pointer[error]
+		wg        sync.WaitGroup
+	)
+	deadline := time.Now().Add(window)
+	for w, c := range clients {
+		wg.Add(1)
+		go func(c *rc.Client, w int) {
+			defer wg.Done()
+			i := 0
+			for time.Now().Before(deadline) {
+				if batch > 0 {
+					specs := make([]rc.AnonymizeSpec, batch)
+					for j := range specs {
+						specs[j] = rc.AnonymizeSpec{
+							User:    rc.SegmentID((w*131 + i*17 + j) % segments),
+							Profile: prof,
+						}
+						i++
+					}
+					results, err := c.AnonymizeBatch(specs)
+					if err != nil {
+						transport.Store(&err)
+						return
+					}
+					for _, r := range results {
+						if r.Err != nil {
+							failed.Add(1)
+						}
+					}
+					done.Add(int64(len(results)))
+					continue
+				}
+				user := rc.SegmentID((w*131 + i*17) % segments)
+				i++
+				if _, _, err := c.Anonymize(user, prof, "RGE"); err != nil {
+					if errors.Is(err, rc.ErrRemote) {
+						failed.Add(1)
+						done.Add(1)
+						continue
+					}
+					transport.Store(&err)
+					return
+				}
+				done.Add(1)
+			}
+		}(c, w)
+	}
+	wg.Wait()
+	if errp := transport.Load(); errp != nil {
+		return done.Load(), failed.Load(), *errp
+	}
+	return done.Load(), failed.Load(), nil
+}

@@ -5,6 +5,16 @@
 // location, inspects the colored multi-level regions over the road network,
 // and writes the publishable region plus the secret keys to files
 // ("upload" to the LBS provider, keys kept local).
+//
+// Besides the default one-shot cloaking mode, two subcommands exercise the
+// service layer:
+//
+//	anonymizer serve   -addr :7080 -map small      # run the trusted server
+//	anonymizer loadgen -addr :7080 -clients 1,4,16,64
+//
+// loadgen sweeps the number of concurrent clients against a running server
+// and reports req/s per step, demonstrating how the sharded, pipelined
+// service scales with cores.
 package main
 
 import (
@@ -36,6 +46,22 @@ type keysFile struct {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer serve:", err)
+				os.Exit(1)
+			}
+			return
+		case "loadgen":
+			if err := runLoadgen(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer loadgen:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		preset    = flag.String("map", "small", "map preset: small, atlanta, grid, figure1")
 		seedStr   = flag.String("seed", "reversecloak-default-map-seed-01", "map+workload seed")

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	rc "github.com/reversecloak/reversecloak"
+)
+
+// runServe starts the trusted anonymization server over a preset map and
+// blocks until SIGINT/SIGTERM.
+func runServe(argv []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7080", "listen address")
+		preset  = fs.String("map", "small", "map preset: small, atlanta, grid, figure1")
+		seedStr = fs.String("seed", "reversecloak-default-map-seed-01", "map+workload seed")
+		cars    = fs.Int("cars", 2000, "workload size (live user densities)")
+		rpleT   = fs.Int("rple-list", 16, "RPLE transition list length T")
+		shards  = fs.Int("shards", 0, "registration store shards (0 = default)")
+		workers = fs.Int("workers", 0, "per-connection worker pool size (0 = default)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	g, err := loadMap(*preset, []byte(*seedStr))
+	if err != nil {
+		return err
+	}
+	sim, err := rc.NewSimulation(g, rc.WorkloadConfig{Cars: *cars, Seed: []byte(*seedStr)})
+	if err != nil {
+		return fmt.Errorf("generating workload: %w", err)
+	}
+	rge, err := rc.NewRGEEngine(g, sim.UsersOn)
+	if err != nil {
+		return fmt.Errorf("building RGE engine: %w", err)
+	}
+	rple, err := rc.NewRPLEEngine(g, sim.UsersOn, *rpleT)
+	if err != nil {
+		return fmt.Errorf("building RPLE engine: %w", err)
+	}
+
+	var opts []rc.ServerOption
+	if *shards > 0 {
+		opts = append(opts, rc.WithShards(*shards))
+	}
+	if *workers > 0 {
+		opts = append(opts, rc.WithConnWorkers(*workers))
+	}
+	srv, err := rc.NewServer(map[rc.Algorithm]*rc.Engine{
+		rc.RGE:  rge,
+		rc.RPLE: rple,
+	}, opts...)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("anonymizer server on %s (map %s: %d junctions, %d segments, %d cars)\n",
+		bound, *preset, g.NumJunctions(), g.NumSegments(), *cars)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return srv.Close()
+}

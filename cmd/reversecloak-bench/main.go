@@ -21,6 +21,7 @@ func main() {
 		trials    = flag.Int("trials", 0, "trials per table cell (default 15)")
 		fullE10   = flag.Bool("full-e10", false, "run E10 at the paper's full 6979/9187/10000 scale")
 		paper     = flag.Bool("paper-scale", false, "run EVERYTHING at full Atlanta scale (slow)")
+		jsonOut   = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -36,8 +37,25 @@ func main() {
 		opts.Segments = 9187
 		opts.Cars = 10000
 	}
-	if err := bench.RunAll(os.Stdout, opts, *fullE10 || *paper); err != nil {
+	if *jsonOut == "" {
+		if err := bench.RunAll(os.Stdout, opts, *fullE10 || *paper); err != nil {
+			fmt.Fprintln(os.Stderr, "reversecloak-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := os.Create(*jsonOut)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "reversecloak-bench:", err)
 		os.Exit(1)
 	}
+	err = bench.RunAllJSON(os.Stdout, f, opts, *fullE10 || *paper)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reversecloak-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("machine-readable results written to", *jsonOut)
 }

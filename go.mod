@@ -1,0 +1,3 @@
+module github.com/reversecloak/reversecloak
+
+go 1.21

@@ -12,15 +12,19 @@ import (
 	"github.com/reversecloak/reversecloak/internal/roadnet"
 )
 
-// startServer builds a server over a grid with RGE and RPLE engines and
-// starts it on a loopback port.
-func startServer(t *testing.T) (*Server, string, *cloak.Engine) {
+// testGrid builds the shared 10x10 grid fixture with a uniform density.
+func testGrid(t *testing.T) (*roadnet.Graph, cloak.DensityFunc) {
 	t.Helper()
 	g, err := mapgen.Grid(10, 10, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	density := func(roadnet.SegmentID) int { return 2 }
+	return g, func(roadnet.SegmentID) int { return 2 }
+}
+
+// newTestServer builds a server with RGE and RPLE engines over the graph.
+func newTestServer(t *testing.T, g *roadnet.Graph, density cloak.DensityFunc, opts ...ServerOption) *Server {
+	t.Helper()
 	rge, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
 	if err != nil {
 		t.Fatal(err)
@@ -36,16 +40,34 @@ func startServer(t *testing.T) (*Server, string, *cloak.Engine) {
 	srv, err := NewServer(map[cloak.Algorithm]*cloak.Engine{
 		cloak.RGE:  rge,
 		cloak.RPLE: rple,
-	})
+	}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return srv
+}
+
+// startTestServer starts the server on a loopback port and arranges its
+// shutdown.
+func startTestServer(t *testing.T, srv *Server) string {
+	t.Helper()
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv.Close() })
-	return srv, addr.String(), rge
+	return addr.String()
+}
+
+// startServer builds a server over a grid with RGE and RPLE engines and
+// starts it on a loopback port.
+func startServer(t *testing.T) (*Server, string, *cloak.Engine) {
+	t.Helper()
+	g, density := testGrid(t)
+	srv := newTestServer(t, g, density)
+	addr := startTestServer(t, srv)
+	rge := srv.engines[cloak.RGE]
+	return srv, addr, rge
 }
 
 func dial(t *testing.T, addr string) *Client {

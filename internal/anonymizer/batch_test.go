@@ -1,0 +1,262 @@
+package anonymizer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+func TestReduce(t *testing.T) {
+	_, addr, _ := startServer(t)
+	owner := dial(t, addr)
+
+	id, region, err := owner.Anonymize(33, testProfile(), "RGE")
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if err := owner.SetTrust(id, "doctor", 0); err != nil {
+		t.Fatalf("SetTrust: %v", err)
+	}
+	if err := owner.SetTrust(id, "dispatcher", 1); err != nil {
+		t.Fatalf("SetTrust: %v", err)
+	}
+
+	requester := dial(t, addr)
+
+	// The doctor recovers the exact segment without ever seeing a key.
+	exact, level, err := requester.Reduce(id, "doctor", 0)
+	if err != nil {
+		t.Fatalf("Reduce(doctor): %v", err)
+	}
+	if level != 0 {
+		t.Errorf("doctor level = %d, want 0", level)
+	}
+	if len(exact.Segments) != 1 || exact.Segments[0] != 33 {
+		t.Errorf("doctor recovered %v, want [33]", exact.Segments)
+	}
+
+	// The doctor may also ask for a coarser level than entitled.
+	mid, level, err := requester.Reduce(id, "doctor", 1)
+	if err != nil {
+		t.Fatalf("Reduce(doctor, 1): %v", err)
+	}
+	if level != 1 {
+		t.Errorf("coarse level = %d, want 1", level)
+	}
+	if len(mid.Segments) >= len(region.Segments) || !mid.Contains(33) {
+		t.Errorf("coarse region = %v", mid.Segments)
+	}
+
+	// The dispatcher cannot go below level 1 no matter what they request.
+	disp, level, err := requester.Reduce(id, "dispatcher", 0)
+	if err != nil {
+		t.Fatalf("Reduce(dispatcher): %v", err)
+	}
+	if level != 1 {
+		t.Errorf("dispatcher level = %d, want 1", level)
+	}
+	if len(disp.Segments) != len(mid.Segments) {
+		t.Errorf("dispatcher got %d segments, doctor's L1 view has %d",
+			len(disp.Segments), len(mid.Segments))
+	}
+
+	// A stranger only ever sees the published region.
+	pub, level, err := requester.Reduce(id, "stranger", 0)
+	if err != nil {
+		t.Fatalf("Reduce(stranger): %v", err)
+	}
+	if level != 2 {
+		t.Errorf("stranger level = %d, want 2", level)
+	}
+	if len(pub.Segments) != len(region.Segments) {
+		t.Errorf("stranger got %d segments, published region has %d",
+			len(pub.Segments), len(region.Segments))
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr)
+	if _, _, err := c.Reduce("nope", "doctor", 0); !errors.Is(err, ErrRemote) {
+		t.Errorf("unknown region err = %v", err)
+	}
+	id, _, err := c.Anonymize(42, testProfile(), "RGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Reduce(id, "", 0); !errors.Is(err, ErrRemote) {
+		t.Errorf("missing requester err = %v", err)
+	}
+}
+
+func TestAnonymizeBatch(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	c := dial(t, addr)
+
+	specs := []AnonymizeSpec{
+		{User: 10, Profile: testProfile(), Algorithm: "RGE"},
+		{User: 9999, Profile: testProfile(), Algorithm: "RGE"}, // bad segment
+		{User: 30, Profile: testProfile(), Algorithm: "RPLE"},
+		{User: 40, Profile: testProfile(), Algorithm: "QUANTUM"}, // bad algo
+	}
+	results, err := c.AnonymizeBatch(specs)
+	if err != nil {
+		t.Fatalf("AnonymizeBatch: %v", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	if results[0].Err != nil {
+		t.Errorf("item 0: %v", results[0].Err)
+	} else if !results[0].Region.Contains(10) {
+		t.Error("item 0 region must contain segment 10")
+	}
+	if results[1].Err == nil {
+		t.Error("item 1 (bad segment) should fail")
+	}
+	if results[2].Err != nil {
+		t.Errorf("item 2: %v", results[2].Err)
+	}
+	if results[3].Err == nil {
+		t.Error("item 3 (bad algorithm) should fail")
+	}
+	// Only the successful items got registered.
+	if srv.Registrations() != 2 {
+		t.Errorf("registrations = %d, want 2", srv.Registrations())
+	}
+
+	// Empty batch is a no-op client-side.
+	if res, err := c.AnonymizeBatch(nil); err != nil || res != nil {
+		t.Errorf("empty batch = %v, %v", res, err)
+	}
+}
+
+func TestReduceBatch(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr)
+
+	users := []roadnet.SegmentID{10, 25, 40}
+	specs := make([]AnonymizeSpec, len(users))
+	for i, u := range users {
+		specs[i] = AnonymizeSpec{User: u, Profile: testProfile()}
+	}
+	regs, err := c.AnonymizeBatch(specs)
+	if err != nil {
+		t.Fatalf("AnonymizeBatch: %v", err)
+	}
+	reduces := make([]ReduceSpec, 0, len(regs)+1)
+	for i, r := range regs {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if err := c.SetTrust(r.RegionID, "doctor", 0); err != nil {
+			t.Fatalf("SetTrust: %v", err)
+		}
+		reduces = append(reduces, ReduceSpec{RegionID: r.RegionID, Requester: "doctor"})
+	}
+	reduces = append(reduces, ReduceSpec{RegionID: "bogus", Requester: "doctor"})
+
+	out, err := c.ReduceBatch(reduces)
+	if err != nil {
+		t.Fatalf("ReduceBatch: %v", err)
+	}
+	for i, u := range users {
+		if out[i].Err != nil {
+			t.Errorf("reduce %d: %v", i, out[i].Err)
+			continue
+		}
+		if out[i].Level != 0 || len(out[i].Region.Segments) != 1 || out[i].Region.Segments[0] != u {
+			t.Errorf("reduce %d recovered %v at level %d, want [%d] at 0",
+				i, out[i].Region.Segments, out[i].Level, u)
+		}
+	}
+	if out[len(out)-1].Err == nil {
+		t.Error("bogus region id should fail")
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	g, density := testGrid(t)
+	srv := newTestServer(t, g, density, WithMaxBatchSize(2))
+	addr := startTestServer(t, srv)
+	c := dial(t, addr)
+
+	specs := make([]AnonymizeSpec, 3)
+	for i := range specs {
+		specs[i] = AnonymizeSpec{User: roadnet.SegmentID(10 + i), Profile: testProfile()}
+	}
+	if _, err := c.AnonymizeBatch(specs); !errors.Is(err, ErrRemote) {
+		t.Errorf("oversized batch err = %v, want ErrRemote", err)
+	}
+
+	// An empty batch on the wire is rejected server-side.
+	cl, err := c.send(&Request{Op: OpAnonymizeBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-cl.done
+	if cl.err != nil || cl.resp.OK {
+		t.Errorf("empty wire batch: err=%v ok=%v", cl.err, cl.resp.OK)
+	}
+}
+
+// TestPipelinedCalls issues many concurrent calls over ONE client
+// connection; the pipelined client must match every response to its caller.
+func TestPipelinedCalls(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c := dial(t, addr)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			user := roadnet.SegmentID(10 + n%80)
+			id, region, err := c.Anonymize(user, testProfile(), "RGE")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !region.Contains(user) {
+				errCh <- errors.New("region does not contain own segment")
+				return
+			}
+			got, _, err := c.GetRegion(id)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if len(got.Segments) != len(region.Segments) {
+				errCh <- errors.New("GetRegion returned a different registration")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if !errors.Is(err, ErrRemote) { // cloak failures are acceptable
+			t.Errorf("pipelined call: %v", err)
+		}
+	}
+}
+
+func TestClientCloseIdempotentAndFailsCalls(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("Ping after Close = %v, want ErrClientClosed", err)
+	}
+}

@@ -1,0 +1,152 @@
+package anonymizer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/mapgen"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// benchServer builds and starts a server over a denser grid so cloaking
+// reliably succeeds while still doing real keyed-expansion work.
+func benchServer(b *testing.B) (string, *roadnet.Graph) {
+	b.Helper()
+	g, err := mapgen.Grid(16, 16, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	density := func(roadnet.SegmentID) int { return 4 }
+	rge, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(map[cloak.Algorithm]*cloak.Engine{cloak.RGE: rge})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return addr.String(), g
+}
+
+func benchProfile() profile.Profile {
+	return profile.Profile{Levels: []profile.Level{{K: 8, L: 4}}}
+}
+
+// BenchmarkServerThroughput sweeps the number of concurrent clients, each
+// on its own connection, and reports req/s. Comparing clients=1 against
+// clients=16 shows how far the sharded store + per-connection pipelines
+// scale past single-lock serialization.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			addr, g := benchServer(b)
+			conns := make([]*Client, clients)
+			for i := range conns {
+				c, err := Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = c.Close() }()
+				conns[i] = c
+			}
+			numSeg := g.NumSegments()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < clients; w++ {
+				ops := b.N / clients
+				if w < b.N%clients {
+					ops++
+				}
+				wg.Add(1)
+				go func(c *Client, w, ops int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						user := roadnet.SegmentID((w*131 + i*17) % numSeg)
+						// Cloak failures still exercise the full stack.
+						_, _, _ = c.Anonymize(user, benchProfile(), "RGE")
+					}
+				}(conns[w], w, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedSharedClient measures many goroutines multiplexed over
+// ONE pipelined connection — the in-flight window hides the round-trips.
+func BenchmarkPipelinedSharedClient(b *testing.B) {
+	for _, callers := range []int{1, 16} {
+		b.Run(fmt.Sprintf("callers=%d", callers), func(b *testing.B) {
+			addr, g := benchServer(b)
+			c, err := Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = c.Close() }()
+			numSeg := g.NumSegments()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < callers; w++ {
+				ops := b.N / callers
+				if w < b.N%callers {
+					ops++
+				}
+				wg.Add(1)
+				go func(w, ops int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						user := roadnet.SegmentID((w*131 + i*17) % numSeg)
+						_, _, _ = c.Anonymize(user, benchProfile(), "RGE")
+					}
+				}(w, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAnonymizeBatch measures the round-trip amortization of batching
+// against the same number of single-shot calls.
+func BenchmarkAnonymizeBatch(b *testing.B) {
+	const batchSize = 32
+	addr, g := benchServer(b)
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	numSeg := g.NumSegments()
+	specs := make([]AnonymizeSpec, batchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range specs {
+			specs[j] = AnonymizeSpec{
+				User:    roadnet.SegmentID((i*batchSize + j*17) % numSeg),
+				Profile: benchProfile(),
+			}
+		}
+		if _, err := c.AnonymizeBatch(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/secs, "req/s")
+	}
+}

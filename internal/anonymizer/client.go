@@ -18,16 +18,42 @@ import (
 var (
 	// ErrRemote wraps an error reported by the server.
 	ErrRemote = errors.New("anonymizer: remote error")
+	// ErrClientClosed reports use of a closed client.
+	ErrClientClosed = errors.New("anonymizer: client closed")
 )
 
-// Client talks to a Server. It serializes calls; one Client may be shared
-// across goroutines.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+// call is one in-flight request: the receive loop completes it with either
+// a response or a transport error.
+type call struct {
+	resp *Response
+	err  error
+	done chan struct{}
 }
+
+// Client talks to a Server over one connection. It is safe for concurrent
+// use, and concurrent calls are pipelined: each caller sends without
+// waiting for earlier responses, and a single receive loop matches the
+// in-order responses back to callers. A single goroutine issuing one call
+// at a time behaves exactly like the old lock-step client.
+type Client struct {
+	conn net.Conn
+
+	sendMu sync.Mutex // serializes enqueue + encode so wire order == queue order
+	enc    *json.Encoder
+
+	// pending carries calls to the receive loop in wire order; its capacity
+	// bounds the pipelining window.
+	pending chan *call
+
+	// stop is closed (once) when the client breaks or closes; err is set
+	// before the close and may be read after observing it.
+	stop     chan struct{}
+	stopOnce sync.Once
+	err      error
+}
+
+// maxPipelined bounds the client-side in-flight window per connection.
+const maxPipelined = 256
 
 // Dial connects to a server address.
 func Dial(addr string) (*Client, error) {
@@ -35,35 +61,111 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("anonymizer: dial %s: %w", addr, err)
 	}
-	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
-	}, nil
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		pending: make(chan *call, maxPipelined),
+		stop:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c, nil
 }
 
-// Close closes the connection.
+// recvLoop reads responses in order and completes the pending calls.
+func (c *Client) recvLoop() {
+	dec := json.NewDecoder(c.conn)
+	for {
+		var cl *call
+		select {
+		case cl = <-c.pending:
+		case <-c.stop:
+			return
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			select {
+			case <-c.stop:
+				// Close/fail won the race and broke the connection under
+				// us: report the sticky error (e.g. ErrClientClosed), not
+				// the secondary net-closed decode error.
+				cl.err = c.err
+			default:
+				cl.err = fmt.Errorf("anonymizer: receive: %w", err)
+			}
+			close(cl.done)
+			c.fail(cl.err)
+			return
+		}
+		cl.resp = &resp
+		close(cl.done)
+	}
+}
+
+// fail marks the client broken: it records the sticky error, releases every
+// waiter via the stop channel and closes the connection.
+func (c *Client) fail(err error) {
+	c.stopOnce.Do(func() {
+		c.err = err
+		close(c.stop)
+		_ = c.conn.Close()
+	})
+}
+
+// Close closes the connection. In-flight calls fail with ErrClientClosed
+// unless their response already arrived.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.fail(ErrClientClosed)
+	return nil
 }
 
-// roundTrip sends one request and reads one response.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// send encodes one request and registers its call slot, preserving the
+// send order / pending order correspondence the wire protocol relies on.
+func (c *Client) send(req *Request) (*call, error) {
+	cl := &call{done: make(chan struct{})}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	select {
+	case <-c.stop:
+		return nil, c.err
+	default:
+	}
+	select {
+	case c.pending <- cl: // may block when the window is full
+	case <-c.stop:
+		return nil, c.err
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("anonymizer: send: %w", err)
+		err = fmt.Errorf("anonymizer: send: %w", err)
+		c.fail(err)
+		return nil, err
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("anonymizer: receive: %w", err)
+	return cl, nil
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	cl, err := c.send(req)
+	if err != nil {
+		return nil, err
 	}
-	if !resp.OK {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+	select {
+	case <-cl.done:
+	case <-c.stop:
+		// The client broke while we waited — but our response may have
+		// been completed just before, so prefer it if present.
+		select {
+		case <-cl.done:
+		default:
+			return nil, c.err
+		}
 	}
-	return &resp, nil
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	if !cl.resp.OK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, cl.resp.Error)
+	}
+	return cl.resp, nil
 }
 
 // Ping checks server liveness.
@@ -95,6 +197,62 @@ func (c *Client) Anonymize(
 	return resp.RegionID, resp.Region, nil
 }
 
+// AnonymizeSpec is one item of an AnonymizeBatch call.
+type AnonymizeSpec struct {
+	User      roadnet.SegmentID
+	Profile   profile.Profile
+	Algorithm string // "RGE" or "RPLE"; empty means RGE
+}
+
+// AnonymizeResult is one item of an AnonymizeBatch response. Err is set
+// when that item failed server-side; the other fields are then zero.
+type AnonymizeResult struct {
+	RegionID string
+	Region   *cloak.CloakedRegion
+	Levels   int
+	Err      error
+}
+
+// AnonymizeBatch registers many cloaking requests in a single round-trip.
+// The results are index-aligned with the specs; per-item failures are
+// reported in the item's Err, while a non-nil returned error means the
+// whole batch failed.
+func (c *Client) AnonymizeBatch(specs []AnonymizeSpec) ([]AnonymizeResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	req := &Request{Op: OpAnonymizeBatch, Batch: make([]Request, len(specs))}
+	for i, sp := range specs {
+		prof := sp.Profile
+		req.Batch[i] = Request{
+			UserSegment: sp.User,
+			Profile:     &prof,
+			Algorithm:   sp.Algorithm,
+		}
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(specs) {
+		return nil, fmt.Errorf("%w: batch returned %d results for %d items",
+			ErrRemote, len(resp.Batch), len(specs))
+	}
+	out := make([]AnonymizeResult, len(specs))
+	for i := range resp.Batch {
+		item := &resp.Batch[i]
+		switch {
+		case !item.OK:
+			out[i] = AnonymizeResult{Err: fmt.Errorf("%w: %s", ErrRemote, item.Error)}
+		case item.Region == nil:
+			out[i] = AnonymizeResult{Err: fmt.Errorf("%w: response without region", ErrRemote)}
+		default:
+			out[i] = AnonymizeResult{RegionID: item.RegionID, Region: item.Region, Levels: item.Levels}
+		}
+	}
+	return out, nil
+}
+
 // GetRegion fetches the public region of a registration.
 func (c *Client) GetRegion(regionID string) (*cloak.CloakedRegion, int, error) {
 	resp, err := c.roundTrip(&Request{Op: OpGetRegion, RegionID: regionID})
@@ -117,6 +275,80 @@ func (c *Client) SetTrust(regionID, requester string, toLevel int) error {
 		ToLevel:   toLevel,
 	})
 	return err
+}
+
+// Reduce asks the server to peel the region down to the finest level the
+// requester is entitled to, or to toLevel if that is coarser. The keys
+// stay on the server; only the reduced region crosses the wire. It returns
+// the reduced region and the level actually reached.
+func (c *Client) Reduce(regionID, requester string, toLevel int) (*cloak.CloakedRegion, int, error) {
+	resp, err := c.roundTrip(&Request{
+		Op:        OpReduce,
+		RegionID:  regionID,
+		Requester: requester,
+		ToLevel:   toLevel,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Region == nil {
+		return nil, 0, fmt.Errorf("%w: response without region", ErrRemote)
+	}
+	if resp.Level == nil {
+		return nil, 0, fmt.Errorf("%w: response without level", ErrRemote)
+	}
+	return resp.Region, *resp.Level, nil
+}
+
+// ReduceSpec is one item of a ReduceBatch call.
+type ReduceSpec struct {
+	RegionID  string
+	Requester string
+	ToLevel   int
+}
+
+// ReduceResult is one item of a ReduceBatch response.
+type ReduceResult struct {
+	Region *cloak.CloakedRegion
+	Level  int
+	Err    error
+}
+
+// ReduceBatch performs many server-side reductions in a single round-trip,
+// index-aligned like AnonymizeBatch.
+func (c *Client) ReduceBatch(specs []ReduceSpec) ([]ReduceResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	req := &Request{Op: OpReduceBatch, Batch: make([]Request, len(specs))}
+	for i, sp := range specs {
+		req.Batch[i] = Request{
+			RegionID:  sp.RegionID,
+			Requester: sp.Requester,
+			ToLevel:   sp.ToLevel,
+		}
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(specs) {
+		return nil, fmt.Errorf("%w: batch returned %d results for %d items",
+			ErrRemote, len(resp.Batch), len(specs))
+	}
+	out := make([]ReduceResult, len(specs))
+	for i := range resp.Batch {
+		item := &resp.Batch[i]
+		switch {
+		case !item.OK:
+			out[i] = ReduceResult{Err: fmt.Errorf("%w: %s", ErrRemote, item.Error)}
+		case item.Region == nil || item.Level == nil:
+			out[i] = ReduceResult{Err: fmt.Errorf("%w: response without region or level", ErrRemote)}
+		default:
+			out[i] = ReduceResult{Region: item.Region, Level: *item.Level}
+		}
+	}
+	return out, nil
 }
 
 // RequestKeys fetches the keys the requester is entitled to, decoded into

@@ -1,0 +1,78 @@
+package anonymizer
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+)
+
+// connJob is one in-flight request on a connection. done is closed by the
+// worker once resp is set; the writer waits on it to preserve order.
+type connJob struct {
+	req  Request
+	resp *Response
+	done chan struct{}
+}
+
+// handleConn serves one connection as a pipeline of three stages:
+//
+//	reader  — decodes JSON requests in arrival order,
+//	workers — a bounded pool executing requests concurrently,
+//	writer  — encodes responses strictly in request order.
+//
+// The ordered queue is bounded (queueDepth), so a slow client or a burst of
+// expensive requests exerts backpressure on the reader instead of growing
+// memory without bound. The connection is dropped on the first decode or
+// encode error, matching the old one-request-at-a-time behavior.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+
+	work := make(chan *connJob)                      // reader -> workers
+	ordered := make(chan *connJob, s.cfg.queueDepth) // reader -> writer, FIFO
+
+	var workers sync.WaitGroup
+	for i := 0; i < s.cfg.connWorkers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for job := range work {
+				job.resp = s.dispatch(&job.req)
+				close(job.done)
+			}
+		}()
+	}
+
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		enc := json.NewEncoder(conn)
+		broken := false
+		for job := range ordered {
+			<-job.done
+			if broken {
+				continue // drain so the reader never blocks forever
+			}
+			if err := enc.Encode(job.resp); err != nil {
+				// Kill the connection: the reader's next Decode fails and
+				// shuts the pipeline down.
+				broken = true
+				_ = conn.Close()
+			}
+		}
+	}()
+
+	dec := json.NewDecoder(conn)
+	for {
+		job := &connJob{done: make(chan struct{})}
+		if err := dec.Decode(&job.req); err != nil {
+			break // EOF or garbage: drop the connection
+		}
+		ordered <- job // reserve the response slot first (bounded)
+		work <- job
+	}
+	close(work)
+	workers.Wait()
+	close(ordered)
+	writer.Wait()
+}

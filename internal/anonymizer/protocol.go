@@ -9,7 +9,10 @@
 // locally.
 //
 // The wire protocol is newline-delimited JSON over TCP, one request and one
-// response per line.
+// response per line. Responses on a connection arrive in request order, so
+// clients may pipeline: send several requests without waiting, then read
+// the responses back in sequence. Batch operations (anonymize_batch,
+// reduce_batch) additionally amortize one round-trip over many items.
 package anonymizer
 
 import (
@@ -37,6 +40,18 @@ const (
 	OpSetTrust Op = "set_trust"
 	// OpRequestKeys asks for the keys a requester is entitled to.
 	OpRequestKeys Op = "request_keys"
+	// OpReduce reduces a registered region server-side on behalf of a
+	// requester: the server grants the keys the requester is entitled to
+	// and peels the region down to max(entitled level, requested to_level),
+	// returning the finer region without ever shipping keys.
+	OpReduce Op = "reduce"
+	// OpAnonymizeBatch registers many cloaking requests in one round-trip.
+	// The per-item requests ride in Batch; the per-item responses come back
+	// in Batch, index-aligned with the request.
+	OpAnonymizeBatch Op = "anonymize_batch"
+	// OpReduceBatch performs many reduce operations in one round-trip,
+	// index-aligned like OpAnonymizeBatch.
+	OpReduceBatch Op = "reduce_batch"
 )
 
 // Request is one protocol request.
@@ -48,9 +63,14 @@ type Request struct {
 	Algorithm   string            `json:"algorithm,omitempty"` // "RGE" or "RPLE"
 	// Region-scoped operations.
 	RegionID string `json:"region_id,omitempty"`
-	// Access control.
+	// Access control. ToLevel is the trust level for OpSetTrust and the
+	// requested target level for OpReduce.
 	Requester string `json:"requester,omitempty"`
 	ToLevel   int    `json:"to_level,omitempty"`
+	// Batch carries the per-item requests of a batch operation. Each item
+	// uses the same fields as the corresponding single operation; its Op
+	// field is ignored.
+	Batch []Request `json:"batch,omitempty"`
 }
 
 // Response is one protocol response.
@@ -61,6 +81,16 @@ type Response struct {
 	RegionID string               `json:"region_id,omitempty"`
 	Region   *cloak.CloakedRegion `json:"region,omitempty"`
 	Levels   int                  `json:"levels,omitempty"`
+	// Reduce: the privacy level actually reached. A pointer so that level 0
+	// (exact location) stays distinguishable from "no level" on the wire:
+	// omitempty drops only the nil pointer, while reduce responses always
+	// carry an explicit value, including 0.
+	Level *int `json:"level,omitempty"`
 	// RequestKeys: hex-encoded keys by level index.
 	Keys map[int]string `json:"keys,omitempty"`
+	// Batch carries the per-item responses of a batch operation,
+	// index-aligned with the request's Batch. The outer OK reports
+	// transport-level success; per-item failures are per-item responses
+	// with OK=false.
+	Batch []Response `json:"batch,omitempty"`
 }

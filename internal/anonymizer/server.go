@@ -2,10 +2,10 @@ package anonymizer
 
 import (
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"github.com/reversecloak/reversecloak/internal/accessctl"
@@ -30,15 +30,96 @@ type registration struct {
 	policy *accessctl.Policy
 }
 
+// ServerOption customizes a Server.
+type ServerOption func(*serverConfig)
+
+// serverConfig collects the tunables behind the options.
+type serverConfig struct {
+	store        Store
+	connWorkers  int
+	queueDepth   int
+	maxBatchSize int
+}
+
+// WithStore installs an alternative registration backend. The default is
+// NewShardedStore(DefaultShards).
+func WithStore(st Store) ServerOption {
+	return func(c *serverConfig) { c.store = st }
+}
+
+// WithShards selects the shard count of the default in-memory store
+// (rounded up to a power of two). Ignored when WithStore is also given.
+func WithShards(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n > 0 {
+			c.store = NewShardedStore(n)
+		}
+	}
+}
+
+// WithConnWorkers sets the per-connection worker pool size used to execute
+// pipelined requests concurrently. The default is GOMAXPROCS, capped at 8.
+func WithConnWorkers(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n > 0 {
+			c.connWorkers = n
+		}
+	}
+}
+
+// WithQueueDepth bounds how many decoded requests may be in flight on one
+// connection before the reader stops decoding more (backpressure). The
+// default is 64.
+func WithQueueDepth(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n > 0 {
+			c.queueDepth = n
+		}
+	}
+}
+
+// WithMaxBatchSize caps the number of items one batch request may carry.
+// The default is 1024; oversized batches are rejected, not truncated.
+func WithMaxBatchSize(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n > 0 {
+			c.maxBatchSize = n
+		}
+	}
+}
+
+// defaultServerConfig returns the config before options are applied.
+func defaultServerConfig() serverConfig {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return serverConfig{
+		connWorkers:  workers,
+		queueDepth:   64,
+		maxBatchSize: 1024,
+	}
+}
+
 // Server is the trusted anonymization server. Create with NewServer, start
 // with Start, stop with Close.
+//
+// The service layer is fully concurrent: registrations live in a sharded
+// Store, connections are served by a per-connection pipeline (reader,
+// bounded worker pool, order-preserving writer), and the cloak engines are
+// themselves safe for concurrent use, so throughput scales with cores and
+// with the number of connected clients.
 type Server struct {
 	engines map[cloak.Algorithm]*cloak.Engine
+	store   Store
+	cfg     serverConfig
 
 	mu     sync.Mutex
-	store  map[string]*registration
-	nextID int
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
 	closed bool
 
 	wg sync.WaitGroup
@@ -46,13 +127,22 @@ type Server struct {
 
 // NewServer builds a server with one engine per supported algorithm.
 // Engines must share the same graph.
-func NewServer(engines map[cloak.Algorithm]*cloak.Engine) (*Server, error) {
+func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) (*Server, error) {
 	if len(engines) == 0 {
 		return nil, fmt.Errorf("%w: no engines", ErrBadOp)
 	}
+	cfg := defaultServerConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.store == nil {
+		cfg.store = NewShardedStore(DefaultShards)
+	}
 	return &Server{
 		engines: engines,
-		store:   make(map[string]*registration),
+		store:   cfg.store,
+		cfg:     cfg,
+		conns:   make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -85,15 +175,41 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.trackConn(conn) {
+			_ = conn.Close() // lost the race with Close
+			continue
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrackConn(conn)
 			s.handleConn(conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// trackConn registers a live connection; it reports false when the server
+// is already closing.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrackConn removes a finished connection.
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Close stops the listener, drops every live connection and waits for the
+// in-flight handlers to drain. Clients mid-request observe a transport
+// error, never a half-written response for a later request.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -102,30 +218,27 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	for _, c := range conns {
+		_ = c.Close() // unblocks the connection's reader
+	}
 	s.wg.Wait()
 	return err
 }
 
-// handleConn serves one connection: a sequence of JSON request lines.
-func (s *Server) handleConn(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	dec := json.NewDecoder(conn)
-	enc := json.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or garbage: drop the connection
-		}
-		resp := s.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // dispatch executes one request.
@@ -141,6 +254,12 @@ func (s *Server) dispatch(req *Request) *Response {
 		return s.handleSetTrust(req)
 	case OpRequestKeys:
 		return s.handleRequestKeys(req)
+	case OpReduce:
+		return s.handleReduce(req)
+	case OpAnonymizeBatch:
+		return s.handleBatch(req, s.handleAnonymize)
+	case OpReduceBatch:
+		return s.handleBatch(req, s.handleReduce)
 	default:
 		return fail(fmt.Errorf("%w: %q", ErrBadOp, req.Op))
 	}
@@ -148,6 +267,42 @@ func (s *Server) dispatch(req *Request) *Response {
 
 // fail wraps an error into a response.
 func fail(err error) *Response { return &Response{OK: false, Error: err.Error()} }
+
+// handleBatch fans the batch items across a bounded set of goroutines (the
+// engines and store are concurrent-safe) and collects the index-aligned
+// per-item responses.
+func (s *Server) handleBatch(req *Request, item func(*Request) *Response) *Response {
+	n := len(req.Batch)
+	if n == 0 {
+		return fail(fmt.Errorf("%w: empty batch", ErrBadOp))
+	}
+	if n > s.cfg.maxBatchSize {
+		return fail(fmt.Errorf("%w: batch of %d exceeds limit %d",
+			ErrBadOp, n, s.cfg.maxBatchSize))
+	}
+	out := make([]Response, n)
+	workers := s.cfg.connWorkers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = *item(&req.Batch[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return &Response{OK: true, Batch: out}
+}
 
 // handleAnonymize generates keys, cloaks and registers the result.
 func (s *Server) handleAnonymize(req *Request) *Response {
@@ -182,21 +337,16 @@ func (s *Server) handleAnonymize(req *Request) *Response {
 	if err != nil {
 		return fail(err)
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.isClosed() {
 		return fail(ErrServerClosed)
 	}
-	s.nextID++
-	id := fmt.Sprintf("r%d", s.nextID)
-	s.store[id] = &registration{region: region, keySet: keySet, policy: policy}
-	s.mu.Unlock()
+	id := s.store.Register(&registration{region: region, keySet: keySet, policy: policy})
 	return &Response{OK: true, RegionID: id, Region: region, Levels: levels}
 }
 
 // handleGetRegion returns the public region.
 func (s *Server) handleGetRegion(req *Request) *Response {
-	reg, err := s.lookup(req.RegionID)
+	reg, err := s.store.Lookup(req.RegionID)
 	if err != nil {
 		return fail(err)
 	}
@@ -206,7 +356,7 @@ func (s *Server) handleGetRegion(req *Request) *Response {
 
 // handleSetTrust updates the owner's policy.
 func (s *Server) handleSetTrust(req *Request) *Response {
-	reg, err := s.lookup(req.RegionID)
+	reg, err := s.store.Lookup(req.RegionID)
 	if err != nil {
 		return fail(err)
 	}
@@ -221,7 +371,7 @@ func (s *Server) handleSetTrust(req *Request) *Response {
 
 // handleRequestKeys grants keys per the policy.
 func (s *Server) handleRequestKeys(req *Request) *Response {
-	reg, err := s.lookup(req.RegionID)
+	reg, err := s.store.Lookup(req.RegionID)
 	if err != nil {
 		return fail(err)
 	}
@@ -239,18 +389,46 @@ func (s *Server) handleRequestKeys(req *Request) *Response {
 	return &Response{OK: true, Keys: enc}
 }
 
-// lookup resolves a region ID.
-func (s *Server) lookup(id string) (*registration, error) {
-	if id == "" {
-		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
+// handleReduce peels the region down to the finest level the requester is
+// entitled to (or a coarser requested to_level), entirely server-side: the
+// keys never leave the server.
+func (s *Server) handleReduce(req *Request) *Response {
+	reg, err := s.store.Lookup(req.RegionID)
+	if err != nil {
+		return fail(err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	reg, ok := s.store[id]
+	if req.Requester == "" {
+		return fail(fmt.Errorf("%w: missing requester", ErrBadOp))
+	}
+	entitled, err := reg.policy.LevelFor(req.Requester)
+	if err != nil {
+		return fail(err)
+	}
+	target := entitled
+	if req.ToLevel > target {
+		target = req.ToLevel
+	}
+	levels := reg.keySet.Levels()
+	if target >= levels {
+		// Nothing to peel: the requester sees the published region as-is.
+		return &Response{OK: true, RegionID: req.RegionID,
+			Region: reg.region.Clone(), Levels: levels, Level: &levels}
+	}
+	engine, ok := s.engines[reg.region.Algorithm]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+		return fail(fmt.Errorf("%w: algorithm %v not enabled",
+			ErrBadOp, reg.region.Algorithm))
 	}
-	return reg, nil
+	grant, err := reg.keySet.Grant(target)
+	if err != nil {
+		return fail(err)
+	}
+	reduced, err := engine.Deanonymize(reg.region, grant, target)
+	if err != nil {
+		return fail(err)
+	}
+	return &Response{OK: true, RegionID: req.RegionID,
+		Region: reduced, Levels: levels, Level: &target}
 }
 
 // parseAlgorithm maps the wire name to the algorithm; empty means RGE.
@@ -267,8 +445,4 @@ func parseAlgorithm(name string) (cloak.Algorithm, error) {
 
 // Registrations returns the number of stored registrations (for tests and
 // the toolkit status display).
-func (s *Server) Registrations() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.store)
-}
+func (s *Server) Registrations() int { return s.store.Len() }

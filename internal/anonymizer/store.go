@@ -1,0 +1,110 @@
+package anonymizer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Store holds the server-side registrations. Implementations must be safe
+// for concurrent use; the default is the in-memory sharded store below, but
+// the interface lets alternative backends (persistent, replicated, ...)
+// slot in behind the server.
+type Store interface {
+	// Register stores a registration and returns its fresh region ID.
+	Register(reg *registration) string
+	// Lookup resolves a region ID. It returns ErrUnknownRegion (wrapped)
+	// for IDs that were never registered.
+	Lookup(id string) (*registration, error)
+	// Len reports the number of live registrations.
+	Len() int
+}
+
+// DefaultShards is the shard count of the default store: enough to keep
+// shard contention negligible at hundreds of concurrent connections while
+// staying cache-friendly.
+const DefaultShards = 64
+
+// storeShard is one lock-striped partition of the sharded store.
+type storeShard struct {
+	mu   sync.RWMutex
+	regs map[string]*registration
+}
+
+// shardedStore is an N-way lock-striped in-memory store. Region IDs are
+// allocated from a single atomic counter (no lock) and mapped to shards by
+// FNV-1a hash, so independent registrations proceed on independent locks.
+type shardedStore struct {
+	shards []storeShard
+	mask   uint32
+	nextID atomic.Uint64
+}
+
+// NewShardedStore builds the default in-memory store with n shards,
+// rounded up to a power of two. n <= 0 selects DefaultShards.
+func NewShardedStore(n int) Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &shardedStore{
+		shards: make([]storeShard, size),
+		mask:   uint32(size - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].regs = make(map[string]*registration)
+	}
+	return s
+}
+
+// shardFor maps a region ID to its shard by FNV-1a hash, inlined over the
+// string so the hot path (every store touch of every request) stays
+// allocation-free.
+func (s *shardedStore) shardFor(id string) *storeShard {
+	h := uint32(2166136261) // FNV-1a offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619 // FNV prime
+	}
+	return &s.shards[h&s.mask]
+}
+
+// Register implements Store.
+func (s *shardedStore) Register(reg *registration) string {
+	id := fmt.Sprintf("r%d", s.nextID.Add(1))
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.regs[id] = reg
+	sh.mu.Unlock()
+	return id
+}
+
+// Lookup implements Store.
+func (s *shardedStore) Lookup(id string) (*registration, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	reg, ok := sh.regs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+	}
+	return reg, nil
+}
+
+// Len implements Store.
+func (s *shardedStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.regs)
+		sh.mu.RUnlock()
+	}
+	return n
+}

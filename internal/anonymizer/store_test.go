@@ -1,0 +1,91 @@
+package anonymizer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedStoreRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4},
+		{5, 8}, {64, 64}, {65, 128},
+	} {
+		st := NewShardedStore(tc.in).(*shardedStore)
+		if got := len(st.shards); got != tc.want {
+			t.Errorf("NewShardedStore(%d) built %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardedStoreRegisterLookup(t *testing.T) {
+	st := NewShardedStore(8)
+	ids := make(map[string]*registration)
+	for i := 0; i < 100; i++ {
+		reg := &registration{}
+		id := st.Register(reg)
+		if _, dup := ids[id]; dup {
+			t.Fatalf("duplicate id %q", id)
+		}
+		ids[id] = reg
+	}
+	if st.Len() != 100 {
+		t.Errorf("Len = %d, want 100", st.Len())
+	}
+	for id, want := range ids {
+		got, err := st.Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", id, err)
+		}
+		if got != want {
+			t.Errorf("Lookup(%q) returned a different registration", id)
+		}
+	}
+}
+
+func TestShardedStoreLookupErrors(t *testing.T) {
+	st := NewShardedStore(4)
+	if _, err := st.Lookup(""); !errors.Is(err, ErrBadOp) {
+		t.Errorf("empty id err = %v, want ErrBadOp", err)
+	}
+	if _, err := st.Lookup("r999"); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("unknown id err = %v, want ErrUnknownRegion", err)
+	}
+}
+
+// TestShardedStoreConcurrent hammers the store from many goroutines; run
+// under -race this proves the striping is sound and IDs never collide.
+func TestShardedStoreConcurrent(t *testing.T) {
+	st := NewShardedStore(16)
+	const goroutines, perG = 16, 200
+	idCh := make(chan string, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg := &registration{}
+				id := st.Register(reg)
+				got, err := st.Lookup(id)
+				if err != nil || got != reg {
+					panic(fmt.Sprintf("lost registration %q: %v", id, err))
+				}
+				idCh <- id
+			}
+		}()
+	}
+	wg.Wait()
+	close(idCh)
+	seen := make(map[string]bool)
+	for id := range idCh {
+		if seen[id] {
+			t.Fatalf("duplicate id %q across goroutines", id)
+		}
+		seen[id] = true
+	}
+	if st.Len() != goroutines*perG {
+		t.Errorf("Len = %d, want %d", st.Len(), goroutines*perG)
+	}
+}

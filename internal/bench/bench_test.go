@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -94,17 +95,40 @@ func TestRunAllStreamsEverything(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run skipped in -short mode")
 	}
-	var buf bytes.Buffer
+	var buf, jsonBuf bytes.Buffer
 	opts := smallOpts()
 	opts.Trials = 3
-	if err := RunAll(&buf, opts, false); err != nil {
-		t.Fatalf("RunAll: %v", err)
+	// One run covers both surfaces: RunAllJSON streams the same tables as
+	// RunAll while collecting the machine-readable artifact.
+	if err := RunAllJSON(&buf, &jsonBuf, opts, false); err != nil {
+		t.Fatalf("RunAllJSON: %v", err)
 	}
 	out := buf.String()
-	for _, id := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	for _, id := range ids {
 		if !strings.Contains(out, "["+id+" completed") {
 			t.Errorf("missing experiment %s in output", id)
 		}
+	}
+	var set ResultSet
+	if err := json.Unmarshal(jsonBuf.Bytes(), &set); err != nil {
+		t.Fatalf("results artifact is not valid JSON: %v", err)
+	}
+	if len(set.Experiments) != len(ids) {
+		t.Fatalf("artifact has %d experiments, want %d", len(set.Experiments), len(ids))
+	}
+	for i, res := range set.Experiments {
+		if res.ID != ids[i] {
+			t.Errorf("experiment %d = %s, want %s", i, res.ID, ids[i])
+		}
+		if len(res.Rows) == 0 && res.Text == "" {
+			t.Errorf("%s: artifact entry carries neither rows nor text", res.ID)
+		}
+	}
+	// E16 swept four client counts.
+	last := set.Experiments[len(set.Experiments)-1]
+	if len(last.Rows) != 4 {
+		t.Errorf("E16 has %d rows, want 4", len(last.Rows))
 	}
 }
 

@@ -35,6 +35,7 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E13", "baseline comparison", wrap(E13Baselines)},
 		{"E14", "ablation: tags vs search", wrap(E14TagAblation)},
 		{"E15", "ablation: RPLE list length", wrap(E15ListLengthAblation)},
+		{"E16", "service throughput by concurrency", wrap(E16ServiceThroughput)},
 	}
 }
 
@@ -47,22 +48,96 @@ func wrap[T fmt.Stringer](f func(*Env) (T, error)) func(*Env) (fmt.Stringer, err
 
 // RunAll executes every experiment and streams the tables to w.
 func RunAll(w io.Writer, opts Options, fullScaleE10 bool) error {
+	_, err := runAll(w, opts, fullScaleE10)
+	return err
+}
+
+// runAll executes every experiment, streaming tables to w and collecting
+// the structured results.
+func runAll(w io.Writer, opts Options, fullScaleE10 bool) (*ResultSet, error) {
 	start := time.Now()
 	env, err := NewEnv(opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(w, "environment: %d junctions, %d segments, %d cars, %d trials/cell (built in %s)\n\n",
 		env.G.NumJunctions(), env.G.NumSegments(), env.Sim.NumCars(),
 		env.Opts.Trials, time.Since(start).Round(time.Millisecond))
+	set := &ResultSet{
+		Junctions: env.G.NumJunctions(),
+		Segments:  env.G.NumSegments(),
+		Cars:      env.Sim.NumCars(),
+		Trials:    env.Opts.Trials,
+	}
 	for _, ex := range Experiments(fullScaleE10) {
 		t0 := time.Now()
 		tab, err := ex.Run(env)
 		if err != nil {
-			return fmt.Errorf("%s (%s): %w", ex.ID, ex.Name, err)
+			return nil, fmt.Errorf("%s (%s): %w", ex.ID, ex.Name, err)
 		}
 		fmt.Fprintln(w, tab.String())
 		fmt.Fprintf(w, "[%s completed in %s]\n\n", ex.ID, time.Since(t0).Round(time.Millisecond))
+		res := ExperimentResult{
+			ID: ex.ID, Name: ex.Name,
+			Seconds: time.Since(t0).Seconds(),
+		}
+		if st, ok := tab.(tabular); ok {
+			res.Title = st.Title()
+			res.Headers = st.Headers()
+			res.Rows = st.Rows()
+		} else {
+			res.Text = tab.String()
+		}
+		set.Experiments = append(set.Experiments, res)
+	}
+	return set, nil
+}
+
+// tabular is the structured view a result may expose beyond fmt.Stringer;
+// *metrics.Table satisfies it.
+type tabular interface {
+	Title() string
+	Headers() []string
+	Rows() [][]string
+}
+
+// ExperimentResult is one experiment's machine-readable outcome.
+type ExperimentResult struct {
+	ID      string     `json:"id"`
+	Name    string     `json:"name"`
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// Text is the rendered table for results without structured access.
+	Text    string  `json:"text,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ResultSet is the machine-readable outcome of a full harness run, the
+// payload CI uploads as the nightly bench artifact.
+type ResultSet struct {
+	Junctions   int                `json:"junctions"`
+	Segments    int                `json:"segments"`
+	Cars        int                `json:"cars"`
+	Trials      int                `json:"trials"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// RunAllJSON executes every experiment once, streaming the human-readable
+// tables to textW while writing one JSON document of the structured
+// results to jsonW (the nightly CI artifact). Pass io.Discard as textW to
+// suppress the tables.
+func RunAllJSON(textW, jsonW io.Writer, opts Options, fullScaleE10 bool) error {
+	set, err := runAll(textW, opts, fullScaleE10)
+	if err != nil {
+		return err
+	}
+	raw, err := jsonMarshal(set)
+	if err != nil {
+		return fmt.Errorf("bench: encoding results: %w", err)
+	}
+	if _, err := jsonW.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("bench: writing results: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/anonymizer"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/metrics"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// E16ServiceThroughput measures the anonymization service end to end: a
+// real server over TCP loopback, swept across concurrent client counts.
+// With the sharded registration store and per-connection pipelines the
+// req/s column should grow with the client count up to the core count of
+// the machine; the speedup column normalizes against the single-client
+// baseline.
+func E16ServiceThroughput(env *Env) (*metrics.Table, error) {
+	srv, err := anonymizer.NewServer(map[cloak.Algorithm]*cloak.Engine{
+		cloak.RGE: env.RGE,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = srv.Close() }()
+
+	opsPerCell := 50 * env.Opts.Trials
+	users := env.SampleUsers(opsPerCell, "e16")
+	prof := uniformProfile(1, 10)
+
+	tab := metrics.NewTable(
+		"E16: service throughput by concurrent clients (RGE, 1 level, k=10)",
+		"clients", "req/s", "ok", "cloak-fail", "speedup")
+	var base float64
+	for _, clients := range []int{1, 4, 16, 64} {
+		reqs, fails, elapsed, err := serviceSweepStep(addr.String(), clients, users, prof)
+		if err != nil {
+			return nil, fmt.Errorf("E16 clients=%d: %w", clients, err)
+		}
+		rate := float64(reqs) / elapsed.Seconds()
+		if base == 0 && rate > 0 {
+			base = rate
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%d", reqs-fails),
+			fmt.Sprintf("%d", fails),
+			fmt.Sprintf("%.2fx", rate/base),
+		)
+	}
+	return tab, nil
+}
+
+// serviceSweepStep splits the user list across n clients (one connection
+// each) and returns completed requests, cloak failures and the wall time.
+func serviceSweepStep(
+	addr string,
+	n int,
+	users []roadnet.SegmentID,
+	prof profile.Profile,
+) (int64, int64, time.Duration, error) {
+	clients := make([]*anonymizer.Client, n)
+	for i := range clients {
+		c, err := anonymizer.Dial(addr)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer func() { _ = c.Close() }()
+		clients[i] = c
+	}
+	var (
+		fails     atomic.Int64
+		transport atomic.Pointer[error]
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w]
+			for i := w; i < len(users); i += n {
+				if _, _, err := c.Anonymize(users[i], prof, "RGE"); err != nil {
+					if isTransportErr(err) {
+						transport.Store(&err)
+						return
+					}
+					fails.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if errp := transport.Load(); errp != nil {
+		return 0, 0, 0, *errp
+	}
+	return int64(len(users)), fails.Load(), elapsed, nil
+}
+
+// isTransportErr distinguishes connection breakage from server-side cloak
+// failures (which are expected for some sampled users).
+func isTransportErr(err error) bool {
+	return err != nil && !errors.Is(err, anonymizer.ErrRemote)
+}

@@ -141,3 +141,26 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestTableAccessors(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow("1", "2")
+	tab.AddRow("3") // padded
+	if tab.Title() != "demo" {
+		t.Errorf("Title = %q", tab.Title())
+	}
+	h := tab.Headers()
+	if len(h) != 2 || h[0] != "a" || h[1] != "b" {
+		t.Errorf("Headers = %v", h)
+	}
+	rows := tab.Rows()
+	if len(rows) != 2 || rows[0][1] != "2" || rows[1][1] != "" {
+		t.Errorf("Rows = %v", rows)
+	}
+	// The returned slices are copies: mutating them must not touch the table.
+	h[0] = "x"
+	rows[0][0] = "x"
+	if tab.Headers()[0] != "a" || tab.Rows()[0][0] != "1" {
+		t.Error("accessors leaked internal state")
+	}
+}

@@ -125,8 +125,19 @@ type (
 type (
 	// Server is the trusted anonymization server.
 	Server = anonymizer.Server
-	// Client talks to a Server.
+	// ServerOption customizes a Server (shards, workers, batch limits).
+	ServerOption = anonymizer.ServerOption
+	// Client talks to a Server; it is safe for concurrent use and
+	// pipelines concurrent calls over one connection.
 	Client = anonymizer.Client
+	// AnonymizeSpec is one item of a Client.AnonymizeBatch call.
+	AnonymizeSpec = anonymizer.AnonymizeSpec
+	// AnonymizeResult is one item of a Client.AnonymizeBatch response.
+	AnonymizeResult = anonymizer.AnonymizeResult
+	// ReduceSpec is one item of a Client.ReduceBatch call.
+	ReduceSpec = anonymizer.ReduceSpec
+	// ReduceResult is one item of a Client.ReduceBatch response.
+	ReduceResult = anonymizer.ReduceResult
 )
 
 // Query types.
@@ -168,6 +179,13 @@ var (
 	ErrMissingKey = cloak.ErrMissingKey
 	// ErrIrreversible reports a failed reversal (wrong key or tampering).
 	ErrIrreversible = cloak.ErrIrreversible
+	// ErrRemote reports a server-side error surfaced by a Client call.
+	ErrRemote = anonymizer.ErrRemote
+	// ErrServerClosed reports use of a closed anonymization server.
+	ErrServerClosed = anonymizer.ErrServerClosed
+	// ErrClientClosed reports use of (or a call interrupted by) a closed
+	// Client.
+	ErrClientClosed = anonymizer.ErrClientClosed
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -235,10 +253,26 @@ func UniformProfile(levels, baseK, baseL int, sigma0 float64) Profile {
 }
 
 // NewServer builds a trusted anonymization server from per-algorithm
-// engines.
-func NewServer(engines map[Algorithm]*Engine) (*Server, error) {
-	return anonymizer.NewServer(engines)
+// engines. Options tune the sharded registration store and the
+// per-connection pipelines; the defaults suit most deployments.
+func NewServer(engines map[Algorithm]*Engine, opts ...ServerOption) (*Server, error) {
+	return anonymizer.NewServer(engines, opts...)
 }
+
+// WithShards selects the shard count of the server's in-memory
+// registration store (rounded up to a power of two).
+func WithShards(n int) ServerOption { return anonymizer.WithShards(n) }
+
+// WithConnWorkers sets the server's per-connection worker pool size.
+func WithConnWorkers(n int) ServerOption { return anonymizer.WithConnWorkers(n) }
+
+// WithQueueDepth bounds the server's per-connection in-flight request
+// queue (backpressure).
+func WithQueueDepth(n int) ServerOption { return anonymizer.WithQueueDepth(n) }
+
+// WithMaxBatchSize caps the number of items one batch request may carry
+// (default 1024).
+func WithMaxBatchSize(n int) ServerOption { return anonymizer.WithMaxBatchSize(n) }
 
 // DialServer connects to a trusted anonymization server.
 func DialServer(addr string) (*Client, error) { return anonymizer.Dial(addr) }
