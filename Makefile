@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench fmt fmt-check vet ci
+.PHONY: all build test test-full race bench fmt fmt-check vet ci linkcheck examples
 
 all: build test
 
@@ -36,5 +36,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Verify that every relative markdown link resolves.
+linkcheck:
+	sh scripts/check-links.sh
+
+# Build and run every example program in -short mode (the CI docs job).
+examples:
+	$(GO) build ./examples/...
+	@for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" -short || exit 1; done
+
 # Everything the blocking CI jobs run.
-ci: fmt-check vet build test race
+ci: fmt-check vet build test race linkcheck examples

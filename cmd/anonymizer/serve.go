@@ -6,12 +6,15 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	rc "github.com/reversecloak/reversecloak"
 )
 
 // runServe starts the trusted anonymization server over a preset map and
-// blocks until SIGINT/SIGTERM.
+// blocks until SIGINT/SIGTERM. With -data-dir the registration store is
+// durable: every registration, trust update and deregistration is
+// journaled to per-shard write-ahead logs and recovered on restart.
 func runServe(argv []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
@@ -22,6 +25,17 @@ func runServe(argv []string) error {
 		rpleT   = fs.Int("rple-list", 16, "RPLE transition list length T")
 		shards  = fs.Int("shards", 0, "registration store shards (0 = default)")
 		workers = fs.Int("workers", 0, "per-connection worker pool size (0 = default)")
+
+		dataDir = fs.String("data-dir", "",
+			"durable store directory; empty serves from memory only")
+		fsyncStr = fs.String("fsync", "interval",
+			"WAL fsync policy: always, interval or never")
+		fsyncEvery = fs.Duration("fsync-every", 100*time.Millisecond,
+			"background sync period for -fsync interval")
+		snapEvery = fs.Int("snapshot-every", 4096,
+			"compact a shard's WAL into a snapshot after this many records (0 = off)")
+		snapInterval = fs.Duration("snapshot-interval", 0,
+			"additionally compact dirty shards on this period (0 = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -51,6 +65,40 @@ func runServe(argv []string) error {
 	if *workers > 0 {
 		opts = append(opts, rc.WithConnWorkers(*workers))
 	}
+	if *dataDir != "" {
+		policy, err := rc.ParseFsyncPolicy(*fsyncStr)
+		if err != nil {
+			return err
+		}
+		durOpts := []rc.DurabilityOption{
+			rc.WithFsyncPolicy(policy),
+			rc.WithFsyncEvery(*fsyncEvery),
+			rc.WithSnapshotEvery(*snapEvery),
+		}
+		if *snapInterval > 0 {
+			durOpts = append(durOpts, rc.WithSnapshotInterval(*snapInterval))
+		}
+		if *shards > 0 {
+			durOpts = append(durOpts, rc.WithDurableShards(*shards))
+		}
+		// Open the store ourselves (rather than via WithDurability) so we
+		// can report what recovery found before serving traffic.
+		st, err := rc.OpenDurableStore(*dataDir, durOpts...)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = st.Close() }()
+		rec := st.Recovery()
+		fmt.Printf("durable store %s (fsync=%s): recovered %d registrations, "+
+			"%d trust updates, %d deregistrations",
+			*dataDir, policy, rec.Registrations, rec.TrustUpdates, rec.Deregistrations)
+		if rec.TruncatedBytes > 0 {
+			fmt.Printf(" (dropped %d torn tail bytes)", rec.TruncatedBytes)
+		}
+		fmt.Println()
+		opts = append(opts, rc.WithStore(st))
+	}
+
 	srv, err := rc.NewServer(map[rc.Algorithm]*rc.Engine{
 		rc.RGE:  rge,
 		rc.RPLE: rple,

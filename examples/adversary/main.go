@@ -8,6 +8,7 @@ package main
 
 import (
 	"crypto/rand"
+	"flag"
 	"fmt"
 	"os"
 
@@ -15,7 +16,11 @@ import (
 	"github.com/reversecloak/reversecloak/internal/cloak"
 )
 
+// -short shrinks the attacks so CI can run the example quickly.
+var short = flag.Bool("short", false, "fewer guesses and enumerations for CI")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "adversary:", err)
 		os.Exit(1)
@@ -46,10 +51,15 @@ func run() error {
 		len(region.Segments), region.Levels[0].Steps, region.Levels[0].Salt)
 	fmt.Printf("secret: user is on segment %d\n\n", user)
 
+	guesses, enums, chainCap := 20, 3, 512
+	if *short {
+		guesses, enums, chainCap = 5, 1, 128
+	}
+
 	// Attack 1: brute-force guessed keys.
-	fmt.Println("attack 1: de-anonymize under 20 guessed keys")
+	fmt.Printf("attack 1: de-anonymize under %d guessed keys\n", guesses)
 	hits, errs := 0, 0
-	for i := 0; i < 20; i++ {
+	for i := 0; i < guesses; i++ {
 		guess := make([]byte, 32)
 		if _, err := rand.Read(guess); err != nil {
 			return err
@@ -63,19 +73,19 @@ func run() error {
 			hits++
 		}
 	}
-	fmt.Printf("  %d/20 guesses failed to produce any chain, %d/20 found the true segment\n\n",
-		errs, hits)
+	fmt.Printf("  %d/%d guesses failed to produce any chain, %d/%d found the true segment\n\n",
+		errs, guesses, hits, guesses)
 
 	// Attack 2: enumerate every removal chain consistent with a random key.
 	fmt.Println("attack 2: chain ambiguity under random keys")
-	for i := 0; i < 3; i++ {
+	for i := 0; i < enums; i++ {
 		guess := make([]byte, 32)
 		if _, err := rand.Read(guess); err != nil {
 			return err
 		}
 		chains, err := cloak.EnumerateReversals(g, cloak.RGE, nil,
 			region.Segments, region.Levels[0].Steps, guess, 1,
-			region.Levels[0].Salt, region.Levels[0].SigmaS, 512)
+			region.Levels[0].Salt, region.Levels[0].SigmaS, chainCap)
 		if err != nil {
 			return fmt.Errorf("enumerating: %w", err)
 		}

@@ -7,13 +7,18 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 
 	rc "github.com/reversecloak/reversecloak"
 )
 
+// -short shrinks the simulation so CI can run the example quickly.
+var short = flag.Bool("short", false, "fewer ticks for CI")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "fleet_monitoring:", err)
 		os.Exit(1)
@@ -48,8 +53,12 @@ func run() error {
 		{K: 20, L: 8, SigmaS: 2400}, // L2: customer tracker
 	}}
 
+	ticks := 5
+	if *short {
+		ticks = 2
+	}
 	const trackedVehicle = 7
-	for tick := 0; tick < 5; tick++ {
+	for tick := 0; tick < ticks; tick++ {
 		car, err := sim.Car(trackedVehicle)
 		if err != nil {
 			return fmt.Errorf("tracking vehicle: %w", err)

@@ -7,13 +7,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	rc "github.com/reversecloak/reversecloak"
 )
 
+// -short shrinks the workload so CI can run the example quickly.
+var short = flag.Bool("short", false, "smaller workload for CI")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "multilevel_access:", err)
 		os.Exit(1)
@@ -27,7 +32,11 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("generating map: %w", err)
 	}
-	sim, err := rc.NewSimulation(g, rc.WorkloadConfig{Cars: 2500, Seed: seed})
+	cars := 2500
+	if *short {
+		cars = 800
+	}
+	sim, err := rc.NewSimulation(g, rc.WorkloadConfig{Cars: cars, Seed: seed})
 	if err != nil {
 		return fmt.Errorf("generating workload: %w", err)
 	}

@@ -4,13 +4,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	rc "github.com/reversecloak/reversecloak"
 )
 
+// -short shrinks the workload so CI can run the example quickly.
+var short = flag.Bool("short", false, "smaller workload for CI")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
@@ -26,7 +31,11 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("generating map: %w", err)
 	}
-	sim, err := rc.NewSimulation(g, rc.WorkloadConfig{Cars: 2000, Seed: seed})
+	cars := 2000
+	if *short {
+		cars = 600
+	}
+	sim, err := rc.NewSimulation(g, rc.WorkloadConfig{Cars: cars, Seed: seed})
 	if err != nil {
 		return fmt.Errorf("generating workload: %w", err)
 	}

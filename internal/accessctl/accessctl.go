@@ -109,6 +109,25 @@ func (p *Policy) KeysFor(requester string, ks *keys.Set) (map[int][]byte, error)
 	return grant, nil
 }
 
+// Levels returns the number of keyed privacy levels the policy covers.
+func (p *Policy) Levels() int { return p.levels }
+
+// DefaultLevel returns the entitlement applied to unlisted requesters
+// (Reject when they are denied outright).
+func (p *Policy) DefaultLevel() int { return p.defaultLevel }
+
+// Grants returns a copy of the explicit per-requester entitlements, the
+// counterpart of DefaultLevel needed to serialize a policy.
+func (p *Policy) Grants() map[string]int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]int, len(p.grants))
+	for r, lv := range p.grants {
+		out[r] = lv
+	}
+	return out
+}
+
 // Requesters lists all explicitly configured requesters, sorted.
 func (p *Policy) Requesters() []string {
 	p.mu.RLock()

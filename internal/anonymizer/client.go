@@ -351,6 +351,14 @@ func (c *Client) ReduceBatch(specs []ReduceSpec) ([]ReduceResult, error) {
 	return out, nil
 }
 
+// Deregister removes a registration (owner-side operation): the server
+// destroys the keys, ending the region's recoverability for every
+// requester. On a durable server the removal survives restarts.
+func (c *Client) Deregister(regionID string) error {
+	_, err := c.roundTrip(&Request{Op: OpDeregister, RegionID: regionID})
+	return err
+}
+
 // RequestKeys fetches the keys the requester is entitled to, decoded into
 // the level->key map that cloak.Engine.Deanonymize consumes.
 func (c *Client) RequestKeys(regionID, requester string) (map[int][]byte, error) {

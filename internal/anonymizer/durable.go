@@ -1,0 +1,757 @@
+package anonymizer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+)
+
+// ErrStoreClosed reports use of a closed durable store.
+var ErrStoreClosed = errors.New("anonymizer: store closed")
+
+// FsyncPolicy selects when the durable store forces WAL appends to disk.
+// The policy is the store's durability/throughput dial: E17 in the bench
+// harness measures the cost of each setting.
+type FsyncPolicy int
+
+// Fsync policies.
+const (
+	// FsyncInterval (the default) syncs dirty shards from a background
+	// goroutine every fsync interval: a crash loses at most the last
+	// interval's acknowledgements, at near-in-memory throughput.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs after every record before the operation is
+	// acknowledged: no acked registration is ever lost, at the price of
+	// one fsync per mutation.
+	FsyncAlways
+	// FsyncNever leaves flushing to the operating system: the log still
+	// survives process crashes (the kernel holds the pages), but not
+	// machine crashes.
+	FsyncNever
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy maps the CLI spelling ("always", "interval", "never")
+// to its policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("%w: fsync policy %q (want always, interval or never)", ErrBadOp, s)
+	}
+}
+
+// DurabilityOption customizes a durable store.
+type DurabilityOption func(*durabilityConfig)
+
+// durabilityConfig collects the durable-store tunables.
+type durabilityConfig struct {
+	shards           int
+	fsync            FsyncPolicy
+	fsyncEvery       time.Duration
+	snapshotEvery    int
+	snapshotInterval time.Duration
+}
+
+// defaultDurabilityConfig returns the config before options are applied.
+// The durable store defaults to fewer shards than the in-memory one: each
+// shard is a WAL file, and 16 keeps the file-handle count low while still
+// letting fsyncs proceed in parallel.
+func defaultDurabilityConfig() durabilityConfig {
+	return durabilityConfig{
+		shards:        16,
+		fsync:         FsyncInterval,
+		fsyncEvery:    100 * time.Millisecond,
+		snapshotEvery: 4096,
+	}
+}
+
+// WithFsyncPolicy selects when WAL appends reach the disk.
+func WithFsyncPolicy(p FsyncPolicy) DurabilityOption {
+	return func(c *durabilityConfig) { c.fsync = p }
+}
+
+// WithFsyncEvery sets the background sync period used by FsyncInterval
+// (default 100ms). Ignored by the other policies.
+func WithFsyncEvery(d time.Duration) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if d > 0 {
+			c.fsyncEvery = d
+		}
+	}
+}
+
+// WithSnapshotEvery compacts a shard's WAL into a snapshot after n
+// appended records (default 4096; 0 disables count-based compaction).
+func WithSnapshotEvery(n int) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if n >= 0 {
+			c.snapshotEvery = n
+		}
+	}
+}
+
+// WithSnapshotInterval additionally compacts dirty shards from a
+// background goroutine every d (default: disabled).
+func WithSnapshotInterval(d time.Duration) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if d > 0 {
+			c.snapshotInterval = d
+		}
+	}
+}
+
+// WithDurableShards sets the shard (and so WAL file) count, rounded up to
+// a power of two.
+func WithDurableShards(n int) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
+// RecoveryStats describes what OpenDurableStore found on disk.
+type RecoveryStats struct {
+	// Registrations is the number of live registrations recovered.
+	Registrations int
+	// TrustUpdates is the number of trust records replayed from the WALs.
+	TrustUpdates int
+	// Deregistrations is the number of deregister records replayed.
+	Deregistrations int
+	// TruncatedBytes counts torn tail bytes dropped across all WALs (0
+	// after a clean shutdown).
+	TruncatedBytes int64
+}
+
+// durableShard is one partition of the durable store: an in-memory map
+// plus the WAL file that journals every mutation of it.
+type durableShard struct {
+	mu         sync.RWMutex
+	regs       map[string]*Registration
+	wal        *os.File
+	walPath    string
+	snapPath   string
+	walSize    int64 // bytes of intact records in the WAL
+	walRecords int   // records since the last snapshot
+	dirty      bool  // appends not yet fsynced
+	buf        []byte
+}
+
+// DurableStore is a crash-safe Store: every mutation is appended to a
+// per-shard CRC-framed write-ahead log before it becomes visible, shards
+// are periodically compacted into snapshots, and OpenDurableStore replays
+// snapshot + WAL to recover the exact pre-crash registration state —
+// preserving the paper's reversibility guarantee across restarts, since a
+// region is only de-anonymizable while the service still holds its keys.
+//
+// It is safe for concurrent use and satisfies Store; plug it into a
+// server with WithStore, or let WithDurability construct one for you.
+type DurableStore struct {
+	dir    string
+	cfg    durabilityConfig
+	shards []*durableShard
+	mask   uint32
+	nextID atomic.Uint64
+	stats  RecoveryStats
+
+	snapshots atomic.Int64 // compactions performed (observable in tests)
+
+	closed atomic.Bool
+	stop   chan struct{}
+	bg     sync.WaitGroup
+}
+
+// OpenDurableStore opens (or initializes) a durable store rooted at dir,
+// recovering any state a previous process left there. Each shard lives in
+// dir as a shard-NNNN.wal log plus an optional shard-NNNN.snap snapshot;
+// recovery loads the snapshot, replays the log, and truncates any torn
+// tail a crash left behind (see Recovery for what was found).
+func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, error) {
+	cfg := defaultDurabilityConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("anonymizer: durable dir: %w", err)
+	}
+	size, err := loadOrInitMeta(dir, cfg.shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &DurableStore{
+		dir:    dir,
+		cfg:    cfg,
+		shards: make([]*durableShard, size),
+		mask:   uint32(size - 1),
+		stop:   make(chan struct{}),
+	}
+	var maxID uint64
+	for i := range s.shards {
+		sh, shardMax, err := s.recoverShard(i)
+		if err != nil {
+			s.closeShards()
+			return nil, err
+		}
+		s.shards[i] = sh
+		if shardMax > maxID {
+			maxID = shardMax
+		}
+		s.stats.Registrations += len(sh.regs)
+	}
+	s.nextID.Store(maxID)
+	if cfg.fsync == FsyncInterval {
+		s.bg.Add(1)
+		go s.syncLoop()
+	}
+	if cfg.snapshotInterval > 0 {
+		s.bg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// storeMeta is the self-describing header of a durable data directory.
+// The shard count is a property of the data on disk, not of the opener:
+// region IDs map to shard files by hash, so reading with a different
+// count would look for them in the wrong files.
+type storeMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// metaFile is the data-directory header file name.
+const metaFile = "META.json"
+
+// loadOrInitMeta returns the directory's shard count, initializing the
+// meta file (atomically) on first open. An existing meta overrides the
+// requested count; resharding an existing directory is an offline
+// migration, not an open-time option.
+func loadOrInitMeta(dir string, requested int) (int, error) {
+	path := filepath.Join(dir, metaFile)
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		var m storeMeta
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return 0, fmt.Errorf("anonymizer: parsing %s: %w", path, err)
+		}
+		if m.Version != 1 || m.Shards < 1 || m.Shards&(m.Shards-1) != 0 {
+			return 0, fmt.Errorf("anonymizer: unsupported store meta %+v in %s", m, path)
+		}
+		return m.Shards, nil
+	}
+	if !os.IsNotExist(err) {
+		return 0, fmt.Errorf("anonymizer: reading %s: %w", path, err)
+	}
+	size := 1
+	for size < requested {
+		size <<= 1
+	}
+	raw, err = json.Marshal(storeMeta{Version: 1, Shards: size})
+	if err != nil {
+		return 0, err
+	}
+	// Write + fsync + rename, like snapshots: the rename must never be
+	// able to outlive the file contents on a machine crash, or the store
+	// would reopen to an unparseable META.json.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
+	}
+	_, err = f.Write(append(raw, '\n'))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
+	}
+	syncDir(dir)
+	return size, nil
+}
+
+// recoverShard loads one shard from its snapshot and WAL. It returns the
+// shard and the highest region-ID counter value seen in any record, so
+// the store never re-issues an ID that was ever acknowledged.
+func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
+	sh := &durableShard{
+		regs:     make(map[string]*Registration),
+		walPath:  filepath.Join(s.dir, fmt.Sprintf("shard-%04d.wal", i)),
+		snapPath: filepath.Join(s.dir, fmt.Sprintf("shard-%04d.snap", i)),
+	}
+	var maxID uint64
+	note := func(id string) {
+		if n, ok := parseRegionID(id); ok && n > maxID {
+			maxID = n
+		}
+	}
+
+	// Snapshots are written to a temp file and renamed into place, so a
+	// snapshot either exists completely or not at all; any framing error
+	// inside one is real corruption, not a torn write.
+	if snap, err := os.Open(sh.snapPath); err == nil {
+		_, rerr := readRecords(snap, func(rec *walRecord) error {
+			switch rec.Type {
+			case recSnapHeader:
+				if rec.NextID > maxID {
+					maxID = rec.NextID
+				}
+				return nil
+			case recRegister:
+				reg, err := decodeRegistration(rec)
+				if err != nil {
+					return err
+				}
+				note(rec.ID)
+				sh.regs[rec.ID] = reg
+				return nil
+			default:
+				return fmt.Errorf("%w: unexpected %q record in snapshot", ErrCorruptLog, rec.Type)
+			}
+		})
+		_ = snap.Close()
+		if rerr != nil {
+			if errors.Is(rerr, errTornTail) {
+				rerr = fmt.Errorf("%w: truncated snapshot %s", ErrCorruptLog, sh.snapPath)
+			}
+			return nil, 0, rerr
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("anonymizer: opening snapshot: %w", err)
+	}
+
+	wal, err := os.OpenFile(sh.walPath, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, 0, fmt.Errorf("anonymizer: opening wal: %w", err)
+	}
+	sh.wal = wal
+	intact, rerr := readRecords(wal, func(rec *walRecord) error {
+		// A register may legitimately duplicate a snapshot entry (crash
+		// between snapshot rename and WAL truncation), and trust or
+		// deregister records for unknown IDs are skipped rather than
+		// fatal: recovery's job is to restore every consistent prefix.
+		switch rec.Type {
+		case recRegister:
+			reg, err := decodeRegistration(rec)
+			if err != nil {
+				return err
+			}
+			note(rec.ID)
+			sh.regs[rec.ID] = reg
+		case recTrust:
+			note(rec.ID)
+			if reg, ok := sh.regs[rec.ID]; ok {
+				if err := reg.policy.SetTrust(rec.Requester, rec.ToLevel); err == nil {
+					s.stats.TrustUpdates++
+				}
+			}
+		case recDeregister:
+			note(rec.ID)
+			if _, ok := sh.regs[rec.ID]; ok {
+				delete(sh.regs, rec.ID)
+				s.stats.Deregistrations++
+			}
+		default:
+			return fmt.Errorf("%w: unexpected %q record in wal", ErrCorruptLog, rec.Type)
+		}
+		sh.walRecords++
+		return nil
+	})
+	if rerr != nil && !errors.Is(rerr, errTornTail) {
+		_ = wal.Close()
+		return nil, 0, fmt.Errorf("anonymizer: replaying %s: %w", sh.walPath, rerr)
+	}
+	end, err := wal.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = wal.Close()
+		return nil, 0, fmt.Errorf("anonymizer: wal seek: %w", err)
+	}
+	if end > intact {
+		// Torn tail: drop it so future appends extend an intact log.
+		s.stats.TruncatedBytes += end - intact
+		if err := wal.Truncate(intact); err != nil {
+			_ = wal.Close()
+			return nil, 0, fmt.Errorf("anonymizer: truncating torn wal tail: %w", err)
+		}
+		if _, err := wal.Seek(intact, io.SeekStart); err != nil {
+			_ = wal.Close()
+			return nil, 0, fmt.Errorf("anonymizer: wal seek: %w", err)
+		}
+	}
+	sh.walSize = intact
+	return sh, maxID, nil
+}
+
+// parseRegionID extracts the counter value from an "r<n>" region ID.
+func parseRegionID(id string) (uint64, bool) {
+	if len(id) < 2 || id[0] != 'r' {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// shardFor maps a region ID to its shard.
+func (s *DurableStore) shardFor(id string) *durableShard {
+	return s.shards[shardIndex(id, s.mask)]
+}
+
+// appendLocked journals one record to the shard's WAL under its lock,
+// honoring the fsync policy. On a partial write it rewinds the file to
+// the last intact record so later appends never extend a torn frame.
+func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
+	frame, err := appendRecord(sh.buf, rec)
+	if err != nil {
+		return err
+	}
+	sh.buf = frame
+	if _, err := sh.wal.Write(frame); err != nil {
+		_ = sh.wal.Truncate(sh.walSize)
+		_, _ = sh.wal.Seek(sh.walSize, io.SeekStart)
+		return fmt.Errorf("anonymizer: wal append: %w", err)
+	}
+	if s.cfg.fsync == FsyncAlways {
+		if err := sh.wal.Sync(); err != nil {
+			// Roll the unsynced record back out: the caller reports the
+			// mutation as failed, so recovery must never replay it.
+			_ = sh.wal.Truncate(sh.walSize)
+			_, _ = sh.wal.Seek(sh.walSize, io.SeekStart)
+			return fmt.Errorf("anonymizer: wal sync: %w", err)
+		}
+	} else {
+		sh.dirty = true
+	}
+	sh.walSize += int64(len(frame))
+	sh.walRecords++
+	return nil
+}
+
+// Register implements Store: the registration is journaled (and, under
+// FsyncAlways, on disk) before it becomes visible or its ID is returned.
+func (s *DurableStore) Register(reg *Registration) (string, error) {
+	if s.closed.Load() {
+		return "", ErrStoreClosed
+	}
+	id := fmt.Sprintf("r%d", s.nextID.Add(1))
+	rec := registerRecord(id, reg)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := s.appendLocked(sh, rec); err != nil {
+		return "", err
+	}
+	sh.regs[id] = reg
+	s.maybeSnapshotLocked(sh)
+	return id, nil
+}
+
+// Lookup implements Store.
+func (s *DurableStore) Lookup(id string) (*Registration, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	reg, ok := sh.regs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+	}
+	return reg, nil
+}
+
+// SetTrust implements Store: the trust change is journaled before the
+// policy mutates, so a recovered store grants exactly what the live one
+// did.
+func (s *DurableStore) SetTrust(id, requester string, toLevel int) error {
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg, ok := sh.regs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+	}
+	// Validate the level before journaling so the WAL never carries a
+	// record the policy would reject on replay.
+	if toLevel < 0 || toLevel > reg.keySet.Levels() {
+		return fmt.Errorf("%w: level %d of %d", accessctl.ErrBadLevel, toLevel, reg.keySet.Levels())
+	}
+	err := s.appendLocked(sh, &walRecord{
+		Type: recTrust, ID: id, Requester: requester, ToLevel: toLevel,
+	})
+	if err != nil {
+		return err
+	}
+	if err := reg.policy.SetTrust(requester, toLevel); err != nil {
+		return err
+	}
+	s.maybeSnapshotLocked(sh)
+	return nil
+}
+
+// Deregister implements Store: once journaled, the registration's keys
+// are gone for good and the region is no longer recoverable.
+func (s *DurableStore) Deregister(id string) error {
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	if id == "" {
+		return fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.regs[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+	}
+	if err := s.appendLocked(sh, &walRecord{Type: recDeregister, ID: id}); err != nil {
+		return err
+	}
+	delete(sh.regs, id)
+	s.maybeSnapshotLocked(sh)
+	return nil
+}
+
+// Len implements Store.
+func (s *DurableStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.regs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// maybeSnapshotLocked compacts the shard when its WAL has accumulated
+// snapshotEvery records since the last snapshot.
+func (s *DurableStore) maybeSnapshotLocked(sh *durableShard) {
+	if s.cfg.snapshotEvery > 0 && sh.walRecords >= s.cfg.snapshotEvery {
+		// Best effort: a failed compaction leaves the WAL authoritative
+		// and will be retried after the next append.
+		_ = s.snapshotShardLocked(sh)
+	}
+}
+
+// snapshotShardLocked writes the shard's live registrations to a fresh
+// snapshot (temp file + rename, so the snapshot is atomic), then resets
+// the WAL. Ordering matters: the snapshot is durable before the log is
+// truncated, so a crash at any point leaves either the old snapshot+log
+// or the new snapshot (possibly plus a log replaying idempotent records).
+func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
+	tmp := sh.snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("anonymizer: snapshot create: %w", err)
+	}
+	write := func(rec *walRecord) error {
+		frame, err := appendRecord(sh.buf, rec)
+		if err != nil {
+			return err
+		}
+		sh.buf = frame
+		_, err = f.Write(frame)
+		return err
+	}
+	err = write(&walRecord{Type: recSnapHeader, NextID: s.nextID.Load()})
+	for id, reg := range sh.regs {
+		if err != nil {
+			break
+		}
+		err = write(registerRecord(id, reg))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("anonymizer: snapshot write: %w", err)
+	}
+	if err := os.Rename(tmp, sh.snapPath); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("anonymizer: snapshot rename: %w", err)
+	}
+	syncDir(s.dir)
+	if err := sh.wal.Truncate(0); err != nil {
+		return fmt.Errorf("anonymizer: wal reset: %w", err)
+	}
+	if _, err := sh.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("anonymizer: wal reset seek: %w", err)
+	}
+	sh.walSize = 0
+	sh.walRecords = 0
+	sh.dirty = false
+	s.snapshots.Add(1)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file is reachable after a
+// machine crash; errors are ignored (some filesystems reject dir syncs).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Snapshot forces a compaction of every shard, e.g. before a planned
+// shutdown or backup.
+func (s *DurableStore) Snapshot() error {
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := s.snapshotShardLocked(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync forces every shard's WAL to disk (a no-op under FsyncAlways).
+func (s *DurableStore) Sync() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var err error
+		if sh.dirty {
+			if err = sh.wal.Sync(); err == nil {
+				sh.dirty = false
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("anonymizer: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Recovery reports what OpenDurableStore found on disk.
+func (s *DurableStore) Recovery() RecoveryStats { return s.stats }
+
+// Dir returns the store's data directory.
+func (s *DurableStore) Dir() string { return s.dir }
+
+// Snapshots returns the number of compactions performed since open (for
+// tests and operational introspection).
+func (s *DurableStore) Snapshots() int64 { return s.snapshots.Load() }
+
+// syncLoop is the FsyncInterval background syncer.
+func (s *DurableStore) syncLoop() {
+	defer s.bg.Done()
+	tick := time.NewTicker(s.cfg.fsyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			_ = s.Sync()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// snapshotLoop compacts shards with outstanding WAL records every
+// snapshotInterval.
+func (s *DurableStore) snapshotLoop() {
+	defer s.bg.Done()
+	tick := time.NewTicker(s.cfg.snapshotInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				if sh.walRecords > 0 {
+					_ = s.snapshotShardLocked(sh)
+				}
+				sh.mu.Unlock()
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// closeShards closes whatever shard files recovery opened (failure path).
+func (s *DurableStore) closeShards() {
+	for _, sh := range s.shards {
+		if sh != nil && sh.wal != nil {
+			_ = sh.wal.Close()
+		}
+	}
+}
+
+// Close flushes and closes every shard. Operations issued after Close
+// fail with ErrStoreClosed; the on-disk state reopens to exactly the
+// acknowledged mutations.
+func (s *DurableStore) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stop)
+	s.bg.Wait()
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.dirty {
+			if err := sh.wal.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.dirty = false
+		}
+		if err := sh.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}

@@ -13,6 +13,12 @@
 // clients may pipeline: send several requests without waiting, then read
 // the responses back in sequence. Batch operations (anonymize_batch,
 // reduce_batch) additionally amortize one round-trip over many items.
+// docs/PROTOCOL.md is the authoritative wire specification.
+//
+// Registrations live in a pluggable Store. The default is in-memory; a
+// server built WithDurability journals every mutation to per-shard
+// write-ahead logs and recovers them on restart, so the reversibility of
+// every acknowledged region survives a crash.
 package anonymizer
 
 import (
@@ -52,6 +58,9 @@ const (
 	// OpReduceBatch performs many reduce operations in one round-trip,
 	// index-aligned like OpAnonymizeBatch.
 	OpReduceBatch Op = "reduce_batch"
+	// OpDeregister removes a registration (owner-side): the server
+	// destroys the keys and the region can never be reduced again.
+	OpDeregister Op = "deregister"
 )
 
 // Request is one protocol request.

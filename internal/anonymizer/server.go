@@ -23,28 +23,36 @@ var (
 	ErrBadOp = errors.New("anonymizer: bad operation")
 )
 
-// registration holds the server-side secret state of one cloaked location.
-type registration struct {
-	region *cloak.CloakedRegion
-	keySet *keys.Set
-	policy *accessctl.Policy
-}
-
 // ServerOption customizes a Server.
 type ServerOption func(*serverConfig)
 
 // serverConfig collects the tunables behind the options.
 type serverConfig struct {
 	store        Store
+	durableDir   string
+	durableOpts  []DurabilityOption
 	connWorkers  int
 	queueDepth   int
 	maxBatchSize int
 }
 
 // WithStore installs an alternative registration backend. The default is
-// NewShardedStore(DefaultShards).
+// NewShardedStore(DefaultShards). A store installed this way is owned by
+// the caller: the server does not close it.
 func WithStore(st Store) ServerOption {
 	return func(c *serverConfig) { c.store = st }
+}
+
+// WithDurability makes the server's registration store crash-safe: the
+// server opens a DurableStore rooted at dir (recovering any state a
+// previous process left there), journals every registration, trust update
+// and deregistration to its write-ahead logs, and closes the store on
+// Close. It overrides WithStore and WithShards.
+func WithDurability(dir string, opts ...DurabilityOption) ServerOption {
+	return func(c *serverConfig) {
+		c.durableDir = dir
+		c.durableOpts = opts
+	}
 }
 
 // WithShards selects the shard count of the default in-memory store
@@ -115,7 +123,10 @@ func defaultServerConfig() serverConfig {
 type Server struct {
 	engines map[cloak.Algorithm]*cloak.Engine
 	store   Store
-	cfg     serverConfig
+	// ownedStore is the durable store the server opened itself (via
+	// WithDurability) and must close on Close; nil otherwise.
+	ownedStore *DurableStore
+	cfg        serverConfig
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -135,14 +146,24 @@ func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) 
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	var owned *DurableStore
+	if cfg.durableDir != "" {
+		st, err := OpenDurableStore(cfg.durableDir, cfg.durableOpts...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.store = st
+		owned = st
+	}
 	if cfg.store == nil {
 		cfg.store = NewShardedStore(DefaultShards)
 	}
 	return &Server{
-		engines: engines,
-		store:   cfg.store,
-		cfg:     cfg,
-		conns:   make(map[net.Conn]struct{}),
+		engines:    engines,
+		store:      cfg.store,
+		ownedStore: owned,
+		cfg:        cfg,
+		conns:      make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -231,6 +252,13 @@ func (s *Server) Close() error {
 		_ = c.Close() // unblocks the connection's reader
 	}
 	s.wg.Wait()
+	if s.ownedStore != nil {
+		// Handlers have drained; flush and close the durable store last so
+		// every acknowledged mutation is on disk.
+		if serr := s.ownedStore.Close(); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
@@ -256,6 +284,8 @@ func (s *Server) dispatch(req *Request) *Response {
 		return s.handleRequestKeys(req)
 	case OpReduce:
 		return s.handleReduce(req)
+	case OpDeregister:
+		return s.handleDeregister(req)
 	case OpAnonymizeBatch:
 		return s.handleBatch(req, s.handleAnonymize)
 	case OpReduceBatch:
@@ -340,7 +370,10 @@ func (s *Server) handleAnonymize(req *Request) *Response {
 	if s.isClosed() {
 		return fail(ErrServerClosed)
 	}
-	id := s.store.Register(&registration{region: region, keySet: keySet, policy: policy})
+	id, err := s.store.Register(&Registration{region: region, keySet: keySet, policy: policy})
+	if err != nil {
+		return fail(err)
+	}
 	return &Response{OK: true, RegionID: id, Region: region, Levels: levels}
 }
 
@@ -354,16 +387,29 @@ func (s *Server) handleGetRegion(req *Request) *Response {
 		Region: reg.region.Clone(), Levels: reg.keySet.Levels()}
 }
 
-// handleSetTrust updates the owner's policy.
+// handleSetTrust updates the owner's policy. The mutation goes through
+// the store so durable backends can journal it.
 func (s *Server) handleSetTrust(req *Request) *Response {
-	reg, err := s.store.Lookup(req.RegionID)
-	if err != nil {
-		return fail(err)
+	if req.RegionID == "" {
+		return fail(fmt.Errorf("%w: missing region id", ErrBadOp))
 	}
 	if req.Requester == "" {
 		return fail(fmt.Errorf("%w: missing requester", ErrBadOp))
 	}
-	if err := reg.policy.SetTrust(req.Requester, req.ToLevel); err != nil {
+	if err := s.store.SetTrust(req.RegionID, req.Requester, req.ToLevel); err != nil {
+		return fail(err)
+	}
+	return &Response{OK: true}
+}
+
+// handleDeregister removes a registration, destroying its keys: the
+// published region stays wherever it was shipped, but it can never be
+// reduced again (the paper's reversibility ends when the owner says so).
+func (s *Server) handleDeregister(req *Request) *Response {
+	if req.RegionID == "" {
+		return fail(fmt.Errorf("%w: missing region id", ErrBadOp))
+	}
+	if err := s.store.Deregister(req.RegionID); err != nil {
 		return fail(err)
 	}
 	return &Response{OK: true}

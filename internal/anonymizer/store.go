@@ -4,18 +4,61 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
 )
 
+// Registration holds the server-side secret state of one cloaked location:
+// the published region, the per-level keys that make it reversible, and
+// the owner's access-control policy. The fields never leave the server; a
+// Registration crosses package boundaries only as an opaque handle.
+type Registration struct {
+	region *cloak.CloakedRegion
+	keySet *keys.Set
+	policy *accessctl.Policy
+}
+
+// NewRegistration assembles a registration from its parts. The server
+// builds registrations itself on anonymize requests; this constructor
+// exists for store benchmarks and alternative frontends.
+func NewRegistration(region *cloak.CloakedRegion, ks *keys.Set, policy *accessctl.Policy) *Registration {
+	return &Registration{region: region, keySet: ks, policy: policy}
+}
+
+// Region returns the published cloaked region (not a copy; treat it as
+// read-only).
+func (r *Registration) Region() *cloak.CloakedRegion { return r.region }
+
+// Levels returns the number of keyed privacy levels.
+func (r *Registration) Levels() int { return r.keySet.Levels() }
+
 // Store holds the server-side registrations. Implementations must be safe
-// for concurrent use; the default is the in-memory sharded store below, but
-// the interface lets alternative backends (persistent, replicated, ...)
+// for concurrent use; the default is the in-memory sharded store below,
+// and OpenDurableStore provides a crash-safe WAL-backed variant behind the
+// same interface, so alternative backends (replicated, remote, ...) can
 // slot in behind the server.
+//
+// Every mutation of registration state flows through the Store — including
+// trust updates, which touch a policy owned by a registration — so that a
+// durable implementation can write-ahead-log each one.
 type Store interface {
-	// Register stores a registration and returns its fresh region ID.
-	Register(reg *registration) string
+	// Register stores a registration and returns its fresh region ID. A
+	// durable store returns an error when the registration could not be
+	// made durable under its fsync policy; the registration is then not
+	// visible and must not be acknowledged to the client.
+	Register(reg *Registration) (string, error)
 	// Lookup resolves a region ID. It returns ErrUnknownRegion (wrapped)
-	// for IDs that were never registered.
-	Lookup(id string) (*registration, error)
+	// for IDs that were never registered or were deregistered.
+	Lookup(id string) (*Registration, error)
+	// SetTrust updates the registration's access-control policy for one
+	// requester (and journals the change in durable implementations).
+	SetTrust(id, requester string, toLevel int) error
+	// Deregister removes a registration, ending the region's
+	// recoverability: after it returns, the keys are gone and no requester
+	// can reduce the region again.
+	Deregister(id string) error
 	// Len reports the number of live registrations.
 	Len() int
 }
@@ -28,7 +71,7 @@ const DefaultShards = 64
 // storeShard is one lock-striped partition of the sharded store.
 type storeShard struct {
 	mu   sync.RWMutex
-	regs map[string]*registration
+	regs map[string]*Registration
 }
 
 // shardedStore is an N-way lock-striped in-memory store. Region IDs are
@@ -43,6 +86,14 @@ type shardedStore struct {
 // NewShardedStore builds the default in-memory store with n shards,
 // rounded up to a power of two. n <= 0 selects DefaultShards.
 func NewShardedStore(n int) Store {
+	s := &shardedStore{}
+	s.shards, s.mask = makeShards(n)
+	return s
+}
+
+// makeShards allocates a power-of-two shard slice for n requested shards
+// (n <= 0 selects DefaultShards) and returns it with its index mask.
+func makeShards(n int) ([]storeShard, uint32) {
 	if n <= 0 {
 		n = DefaultShards
 	}
@@ -50,40 +101,42 @@ func NewShardedStore(n int) Store {
 	for size < n {
 		size <<= 1
 	}
-	s := &shardedStore{
-		shards: make([]storeShard, size),
-		mask:   uint32(size - 1),
+	shards := make([]storeShard, size)
+	for i := range shards {
+		shards[i].regs = make(map[string]*Registration)
 	}
-	for i := range s.shards {
-		s.shards[i].regs = make(map[string]*registration)
-	}
-	return s
+	return shards, uint32(size - 1)
 }
 
-// shardFor maps a region ID to its shard by FNV-1a hash, inlined over the
-// string so the hot path (every store touch of every request) stays
-// allocation-free.
-func (s *shardedStore) shardFor(id string) *storeShard {
+// shardIndex maps a region ID to a shard index by FNV-1a hash, inlined
+// over the string so the hot path (every store touch of every request)
+// stays allocation-free.
+func shardIndex(id string, mask uint32) uint32 {
 	h := uint32(2166136261) // FNV-1a offset basis
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619 // FNV prime
 	}
-	return &s.shards[h&s.mask]
+	return h & mask
 }
 
-// Register implements Store.
-func (s *shardedStore) Register(reg *registration) string {
+// shardFor maps a region ID to its shard.
+func (s *shardedStore) shardFor(id string) *storeShard {
+	return &s.shards[shardIndex(id, s.mask)]
+}
+
+// Register implements Store; the in-memory store cannot fail.
+func (s *shardedStore) Register(reg *Registration) (string, error) {
 	id := fmt.Sprintf("r%d", s.nextID.Add(1))
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	sh.regs[id] = reg
 	sh.mu.Unlock()
-	return id
+	return id, nil
 }
 
 // Lookup implements Store.
-func (s *shardedStore) Lookup(id string) (*registration, error) {
+func (s *shardedStore) Lookup(id string) (*Registration, error) {
 	if id == "" {
 		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
 	}
@@ -95,6 +148,32 @@ func (s *shardedStore) Lookup(id string) (*registration, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
 	}
 	return reg, nil
+}
+
+// SetTrust implements Store by mutating the registration's policy in
+// place (the policy is itself concurrency-safe).
+func (s *shardedStore) SetTrust(id, requester string, toLevel int) error {
+	reg, err := s.Lookup(id)
+	if err != nil {
+		return err
+	}
+	return reg.policy.SetTrust(requester, toLevel)
+}
+
+// Deregister implements Store.
+func (s *shardedStore) Deregister(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.regs[id]
+	delete(sh.regs, id)
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRegion, id)
+	}
+	return nil
 }
 
 // Len implements Store.

@@ -21,10 +21,13 @@ func TestShardedStoreRoundsUpToPowerOfTwo(t *testing.T) {
 
 func TestShardedStoreRegisterLookup(t *testing.T) {
 	st := NewShardedStore(8)
-	ids := make(map[string]*registration)
+	ids := make(map[string]*Registration)
 	for i := 0; i < 100; i++ {
-		reg := &registration{}
-		id := st.Register(reg)
+		reg := &Registration{}
+		id, err := st.Register(reg)
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
 		if _, dup := ids[id]; dup {
 			t.Fatalf("duplicate id %q", id)
 		}
@@ -66,8 +69,11 @@ func TestShardedStoreConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				reg := &registration{}
-				id := st.Register(reg)
+				reg := &Registration{}
+				id, err := st.Register(reg)
+				if err != nil {
+					panic(fmt.Sprintf("register: %v", err))
+				}
 				got, err := st.Lookup(id)
 				if err != nil || got != reg {
 					panic(fmt.Sprintf("lost registration %q: %v", id, err))

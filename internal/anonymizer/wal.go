@@ -1,0 +1,209 @@
+package anonymizer
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
+)
+
+// The write-ahead log is a flat sequence of CRC-framed records:
+//
+//	offset  size  field
+//	0       4     payload length n (little-endian uint32)
+//	4       4     CRC-32C of the payload (little-endian uint32)
+//	8       n     payload (JSON-encoded walRecord)
+//
+// The payload reuses the internal/cloak JSON codec: a region inside a
+// record is exactly the CloakedRegion wire format the rest of the system
+// already pins with round-trip tests. The CRC frame is what makes replay
+// safe against torn writes: a record whose length or checksum does not add
+// up marks the end of the usable log, and everything before it is intact.
+
+// ErrCorruptLog reports a WAL or snapshot record that failed its CRC or
+// framing checks somewhere other than the tail (tail damage is expected
+// after a crash and is dropped silently; see readRecords).
+var ErrCorruptLog = errors.New("anonymizer: corrupt log record")
+
+// walHeaderSize is the fixed frame prefix: length + CRC.
+const walHeaderSize = 8
+
+// maxWalRecordSize bounds one record's payload (64 MiB). A length field
+// beyond it is treated as frame corruption rather than an allocation
+// request: a flipped high bit must not make recovery attempt a 3 GiB read.
+const maxWalRecordSize = 64 << 20
+
+// castagnoli is the CRC-32C table, the polynomial with hardware support on
+// both amd64 and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recType discriminates WAL record kinds.
+type recType string
+
+// WAL record kinds. Snapshot files reuse the same framing: a snapHeader
+// record first, then one register record per live registration.
+const (
+	// recRegister introduces a registration (also used for snapshot
+	// entries, where it carries the then-current trust grants).
+	recRegister recType = "register"
+	// recTrust records a SetTrust mutation of a registration's policy.
+	recTrust recType = "trust"
+	// recDeregister removes a registration.
+	recDeregister recType = "deregister"
+	// recSnapHeader opens a snapshot file and carries the ID allocator
+	// position.
+	recSnapHeader recType = "snapshot"
+)
+
+// walRecord is the JSON payload of one log or snapshot record. Fields are
+// populated per Type; unused fields stay zero and are dropped by omitempty
+// where zero is never meaningful.
+type walRecord struct {
+	Type recType `json:"type"`
+	// ID is the region ID the record applies to (all types but snapshot).
+	ID string `json:"id,omitempty"`
+	// Register payload: the published region, the per-level keys in level
+	// order (hex), the policy's default level and its explicit grants.
+	Region  *cloak.CloakedRegion `json:"region,omitempty"`
+	Keys    []string             `json:"keys,omitempty"`
+	Default int                  `json:"default"`
+	Grants  map[string]int       `json:"grants,omitempty"`
+	// Trust payload. ToLevel has no omitempty: level 0 (full
+	// de-anonymization) is a meaningful grant.
+	Requester string `json:"requester,omitempty"`
+	ToLevel   int    `json:"to_level"`
+	// Snapshot header payload: the next-ID counter at snapshot time, so
+	// recovery never re-issues an ID that was ever handed out.
+	NextID uint64 `json:"next_id,omitempty"`
+}
+
+// appendRecord frames rec into buf (reusing its capacity) and returns the
+// encoded frame ready to be written in one Write call.
+func appendRecord(buf []byte, rec *walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("anonymizer: encoding wal record: %w", err)
+	}
+	if len(payload) > maxWalRecordSize {
+		return nil, fmt.Errorf("anonymizer: wal record of %d bytes exceeds limit", len(payload))
+	}
+	buf = buf[:0]
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// readRecords decodes frames from r, calling fn for each intact record.
+// It returns the byte offset just past the last intact record. A clean EOF
+// on a frame boundary returns a nil error; a torn or corrupt tail (short
+// header, short payload, impossible length, CRC mismatch) stops the scan
+// and returns the offset with errTornTail so the caller can truncate the
+// file back to its last consistent prefix. An error from fn aborts
+// immediately and is returned as-is.
+func readRecords(r io.Reader, fn func(*walRecord) error) (int64, error) {
+	var (
+		offset int64
+		hdr    [walHeaderSize]byte
+		buf    []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return offset, nil // clean end on a frame boundary
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return offset, errTornTail // mid-header EOF
+			}
+			// A real read error (EIO, ...) is not a torn tail: truncating
+			// here would destroy acknowledged records. Surface it.
+			return offset, fmt.Errorf("anonymizer: log read: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxWalRecordSize {
+			return offset, errTornTail
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return offset, errTornTail // mid-payload EOF
+			}
+			return offset, fmt.Errorf("anonymizer: log read: %w", err)
+		}
+		if crc32.Checksum(buf, castagnoli) != want {
+			return offset, errTornTail
+		}
+		var rec walRecord
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			// The frame is intact but the payload is not our JSON: this is
+			// not a torn write, it is corruption or a format break.
+			return offset, fmt.Errorf("%w: %v", ErrCorruptLog, err)
+		}
+		if err := fn(&rec); err != nil {
+			return offset, err
+		}
+		offset += walHeaderSize + int64(n)
+	}
+}
+
+// errTornTail reports that a scan hit a torn or checksum-failing tail; the
+// prefix before the returned offset is intact.
+var errTornTail = errors.New("anonymizer: torn log tail")
+
+// registerRecord captures a registration (and the current state of its
+// policy) as a WAL record.
+func registerRecord(id string, reg *Registration) *walRecord {
+	return &walRecord{
+		Type:    recRegister,
+		ID:      id,
+		Region:  reg.region,
+		Keys:    reg.keySet.EncodeHex(),
+		Default: reg.policy.DefaultLevel(),
+		Grants:  reg.policy.Grants(),
+	}
+}
+
+// decodeRegistration rebuilds a Registration from a register record.
+func decodeRegistration(rec *walRecord) (*Registration, error) {
+	if rec.Region == nil || len(rec.Keys) == 0 {
+		return nil, fmt.Errorf("%w: register record %q without region or keys",
+			ErrCorruptLog, rec.ID)
+	}
+	raw := make([][]byte, len(rec.Keys))
+	for i, e := range rec.Keys {
+		k, err := hex.DecodeString(e)
+		if err != nil {
+			return nil, fmt.Errorf("%w: register record %q key %d: %v",
+				ErrCorruptLog, rec.ID, i+1, err)
+		}
+		raw[i] = k
+	}
+	ks, err := keys.FromBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: register record %q: %v", ErrCorruptLog, rec.ID, err)
+	}
+	policy, err := accessctl.NewPolicy(ks.Levels(), rec.Default)
+	if err != nil {
+		return nil, fmt.Errorf("%w: register record %q: %v", ErrCorruptLog, rec.ID, err)
+	}
+	for requester, lv := range rec.Grants {
+		if err := policy.SetTrust(requester, lv); err != nil {
+			return nil, fmt.Errorf("%w: register record %q grant %q: %v",
+				ErrCorruptLog, rec.ID, requester, err)
+		}
+	}
+	return &Registration{region: rec.Region, keySet: ks, policy: policy}, nil
+}

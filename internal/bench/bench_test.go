@@ -104,7 +104,7 @@ func TestRunAllStreamsEverything(t *testing.T) {
 		t.Fatalf("RunAllJSON: %v", err)
 	}
 	out := buf.String()
-	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 	for _, id := range ids {
 		if !strings.Contains(out, "["+id+" completed") {
 			t.Errorf("missing experiment %s in output", id)
@@ -125,10 +125,11 @@ func TestRunAllStreamsEverything(t *testing.T) {
 			t.Errorf("%s: artifact entry carries neither rows nor text", res.ID)
 		}
 	}
-	// E16 swept four client counts.
-	last := set.Experiments[len(set.Experiments)-1]
-	if len(last.Rows) != 4 {
-		t.Errorf("E16 has %d rows, want 4", len(last.Rows))
+	// E16 swept four client counts; E17 compared four store configs.
+	for _, res := range set.Experiments[len(set.Experiments)-2:] {
+		if len(res.Rows) != 4 {
+			t.Errorf("%s has %d rows, want 4", res.ID, len(res.Rows))
+		}
 	}
 }
 

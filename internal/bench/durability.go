@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/anonymizer"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
+	"github.com/reversecloak/reversecloak/internal/metrics"
+)
+
+// E17DurabilityOverhead measures the durability tax of the anonymizer
+// store: registration throughput against the in-memory sharded store and
+// against the WAL-backed durable store under each fsync policy. The
+// workload registers one realistic cloaked region repeatedly from 8
+// concurrent workers — the store-side hot path of every anonymize
+// request, isolated from cloaking and networking costs. "logged B/op" is
+// the on-disk WAL+snapshot footprint per registration.
+func E17DurabilityOverhead(env *Env) (*metrics.Table, error) {
+	reg, err := e17Registration(env)
+	if err != nil {
+		return nil, err
+	}
+	const workers = 8
+	ops := 100 * env.Opts.Trials
+
+	type config struct {
+		name string
+		opts []anonymizer.DurabilityOption // nil means in-memory
+	}
+	configs := []config{
+		{"memory", nil},
+		{"wal fsync=never", []anonymizer.DurabilityOption{
+			anonymizer.WithFsyncPolicy(anonymizer.FsyncNever)}},
+		{"wal fsync=interval", []anonymizer.DurabilityOption{
+			anonymizer.WithFsyncPolicy(anonymizer.FsyncInterval)}},
+		{"wal fsync=always", []anonymizer.DurabilityOption{
+			anonymizer.WithFsyncPolicy(anonymizer.FsyncAlways)}},
+	}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("E17: durable store overhead (%d registrations, %d workers)", ops, workers),
+		"store", "regs/s", "us/op", "logged B/op", "slowdown")
+	var base float64
+	for _, cfg := range configs {
+		rate, bytesPerOp, err := e17Step(cfg.opts, reg, ops, workers)
+		if err != nil {
+			return nil, fmt.Errorf("E17 %s: %w", cfg.name, err)
+		}
+		if base == 0 && rate > 0 {
+			base = rate
+		}
+		logged := "-"
+		if cfg.opts != nil {
+			logged = fmt.Sprintf("%.0f", bytesPerOp)
+		}
+		tab.AddRow(
+			cfg.name,
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.1f", 1e6/rate),
+			logged,
+			fmt.Sprintf("%.2fx", base/rate),
+		)
+	}
+	return tab, nil
+}
+
+// e17Registration cloaks one sampled user into the registration payload
+// every step re-registers.
+func e17Registration(env *Env) (*anonymizer.Registration, error) {
+	prof := uniformProfile(2, 10)
+	ks, err := keys.FromBytes(env.keysFor("e17", 2))
+	if err != nil {
+		return nil, err
+	}
+	for _, user := range env.SampleUsers(20, "e17") {
+		region, _, err := env.RGE.Anonymize(cloak.Request{
+			UserSegment: user, Profile: prof, Keys: ks.All(),
+		})
+		if err != nil {
+			continue
+		}
+		policy, err := accessctl.NewPolicy(2, 2)
+		if err != nil {
+			return nil, err
+		}
+		return anonymizer.NewRegistration(region, ks, policy), nil
+	}
+	return nil, fmt.Errorf("bench: no sampled user cloaked successfully")
+}
+
+// e17Step times ops registrations against one store configuration and
+// returns the rate plus the on-disk bytes written per registration.
+func e17Step(
+	durOpts []anonymizer.DurabilityOption,
+	reg *anonymizer.Registration,
+	ops, workers int,
+) (rate, bytesPerOp float64, err error) {
+	var st anonymizer.Store
+	var dir string
+	if durOpts == nil {
+		st = anonymizer.NewShardedStore(0)
+	} else {
+		dir, err = os.MkdirTemp("", "reversecloak-e17-*")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		ds, derr := anonymizer.OpenDurableStore(dir, durOpts...)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		defer func() { _ = ds.Close() }()
+		st = ds
+	}
+
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < ops; i += workers {
+				if _, rerr := st.Register(reg); rerr != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = rerr
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	rate = float64(ops) / elapsed.Seconds()
+	if dir != "" {
+		var onDisk int64
+		entries, derr := os.ReadDir(dir)
+		if derr == nil {
+			for _, e := range entries {
+				if filepath.Ext(e.Name()) == ".wal" || filepath.Ext(e.Name()) == ".snap" {
+					if info, ierr := e.Info(); ierr == nil {
+						onDisk += info.Size()
+					}
+				}
+			}
+		}
+		bytesPerOp = float64(onDisk) / float64(ops)
+	}
+	return rate, bytesPerOp, nil
+}

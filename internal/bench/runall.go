@@ -36,6 +36,7 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E14", "ablation: tags vs search", wrap(E14TagAblation)},
 		{"E15", "ablation: RPLE list length", wrap(E15ListLengthAblation)},
 		{"E16", "service throughput by concurrency", wrap(E16ServiceThroughput)},
+		{"E17", "durable store overhead by fsync policy", wrap(E17DurabilityOverhead)},
 	}
 }
 

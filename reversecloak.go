@@ -39,6 +39,7 @@ package reversecloak
 
 import (
 	"io"
+	"time"
 
 	"github.com/reversecloak/reversecloak/internal/anonymizer"
 	"github.com/reversecloak/reversecloak/internal/cloak"
@@ -125,8 +126,23 @@ type (
 type (
 	// Server is the trusted anonymization server.
 	Server = anonymizer.Server
-	// ServerOption customizes a Server (shards, workers, batch limits).
+	// ServerOption customizes a Server (shards, workers, batch limits,
+	// durability).
 	ServerOption = anonymizer.ServerOption
+	// Store is the server's registration backend interface.
+	Store = anonymizer.Store
+	// Registration is the server-side secret state of one cloaked
+	// location (an opaque handle outside internal code).
+	Registration = anonymizer.Registration
+	// DurableStore is the crash-safe WAL+snapshot registration store.
+	DurableStore = anonymizer.DurableStore
+	// DurabilityOption tunes a DurableStore (fsync policy, snapshot
+	// cadence, shard count).
+	DurabilityOption = anonymizer.DurabilityOption
+	// FsyncPolicy selects when WAL appends are forced to disk.
+	FsyncPolicy = anonymizer.FsyncPolicy
+	// RecoveryStats describes what OpenDurableStore found on disk.
+	RecoveryStats = anonymizer.RecoveryStats
 	// Client talks to a Server; it is safe for concurrent use and
 	// pipelines concurrent calls over one connection.
 	Client = anonymizer.Client
@@ -171,6 +187,19 @@ const (
 	RPLE = cloak.RPLE
 )
 
+// Fsync policies for the durable registration store.
+const (
+	// FsyncAlways syncs every WAL append before acknowledging it: no
+	// acked registration is ever lost to a crash.
+	FsyncAlways = anonymizer.FsyncAlways
+	// FsyncInterval (the default) syncs dirty shards on a background
+	// period: bounded loss window, near-in-memory throughput.
+	FsyncInterval = anonymizer.FsyncInterval
+	// FsyncNever leaves flushing to the OS: survives process crashes
+	// only.
+	FsyncNever = anonymizer.FsyncNever
+)
+
 // Re-exported sentinel errors for errors.Is checks at the API boundary.
 var (
 	// ErrCloakFailed reports an unsatisfiable privacy level.
@@ -186,6 +215,8 @@ var (
 	// ErrClientClosed reports use of (or a call interrupted by) a closed
 	// Client.
 	ErrClientClosed = anonymizer.ErrClientClosed
+	// ErrStoreClosed reports use of a closed durable store.
+	ErrStoreClosed = anonymizer.ErrStoreClosed
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -273,6 +304,47 @@ func WithQueueDepth(n int) ServerOption { return anonymizer.WithQueueDepth(n) }
 // WithMaxBatchSize caps the number of items one batch request may carry
 // (default 1024).
 func WithMaxBatchSize(n int) ServerOption { return anonymizer.WithMaxBatchSize(n) }
+
+// WithStore installs a caller-owned registration backend (e.g. a
+// DurableStore the caller opened, inspected and will close itself).
+func WithStore(st Store) ServerOption { return anonymizer.WithStore(st) }
+
+// WithDurability makes the server's registration store crash-safe: it
+// opens (or recovers) a DurableStore rooted at dir, journals every
+// mutation to its write-ahead logs, and closes it on Server.Close.
+func WithDurability(dir string, opts ...DurabilityOption) ServerOption {
+	return anonymizer.WithDurability(dir, opts...)
+}
+
+// OpenDurableStore opens (or initializes) a durable registration store
+// rooted at dir, recovering any state a previous process left there.
+func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, error) {
+	return anonymizer.OpenDurableStore(dir, opts...)
+}
+
+// WithFsyncPolicy selects when durable-store WAL appends reach the disk.
+func WithFsyncPolicy(p FsyncPolicy) DurabilityOption { return anonymizer.WithFsyncPolicy(p) }
+
+// WithFsyncEvery sets the background sync period used by FsyncInterval.
+func WithFsyncEvery(d time.Duration) DurabilityOption { return anonymizer.WithFsyncEvery(d) }
+
+// WithSnapshotEvery compacts a shard's WAL into a snapshot after n
+// appended records (0 disables count-based compaction).
+func WithSnapshotEvery(n int) DurabilityOption { return anonymizer.WithSnapshotEvery(n) }
+
+// WithSnapshotInterval additionally compacts dirty shards on a
+// background period.
+func WithSnapshotInterval(d time.Duration) DurabilityOption {
+	return anonymizer.WithSnapshotInterval(d)
+}
+
+// WithDurableShards sets the durable store's shard (and WAL file) count.
+// The count is fixed at directory initialization; reopening an existing
+// directory keeps its original count.
+func WithDurableShards(n int) DurabilityOption { return anonymizer.WithDurableShards(n) }
+
+// ParseFsyncPolicy maps "always", "interval" or "never" to its policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return anonymizer.ParseFsyncPolicy(s) }
 
 // DialServer connects to a trusted anonymization server.
 func DialServer(addr string) (*Client, error) { return anonymizer.Dial(addr) }

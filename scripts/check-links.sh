@@ -1,0 +1,29 @@
+#!/bin/sh
+# check-links.sh — verify that every relative link target in the
+# repository's markdown files exists, so docs can't rot silently.
+# External (http/https/mailto) links are not fetched; only local paths
+# are checked. Run from the repository root; exits non-zero on the
+# first pass if any link is broken.
+set -u
+
+fail=0
+for f in $(find . -name '*.md' -not -path './.git/*'); do
+    dir=$(dirname "$f")
+    # Extract the (target) part of [text](target) links, one per line.
+    for target in $(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//'); do
+        # Strip any #fragment; ignore external and intra-page links.
+        path=${target%%#*}
+        case "$path" in
+        http://* | https://* | mailto:* | "") continue ;;
+        esac
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$f: broken link -> $target" >&2
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed" >&2
+    exit 1
+fi
+echo "markdown links ok"
