@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench fmt fmt-check vet ci linkcheck examples
+.PHONY: all build test test-full race bench bench-smoke staticcheck fmt fmt-check vet ci linkcheck examples
 
 all: build test
 
@@ -35,6 +35,16 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet (the CI lint job's pinned version; needs
+# network on first run to fetch the tool).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2023.1.7 ./...
+
+# Durability experiments only, tiny iteration counts (the CI bench-smoke
+# job): fails fast on WAL / fsync / group-commit regressions.
+bench-smoke:
+	$(GO) run ./cmd/reversecloak-bench -only E17,E18 -trials 2 -junctions 400 -segments 540
 
 # Verify that every relative markdown link resolves.
 linkcheck:

@@ -12,7 +12,12 @@ import (
 )
 
 // runLoadgen sweeps concurrent-client counts against a running server and
-// reports the achieved registration throughput per step.
+// reports the achieved registration throughput per step. Registrations do
+// not accumulate on the server: by default every registration the
+// generator creates is deregistered again (so long runs against a durable
+// store do not grow the WAL without bound), and with -ttl the
+// registrations instead carry a TTL and are left for the server's expiry
+// sweeper to reclaim — the TTL-churn workload of a production deployment.
 func runLoadgen(argv []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	var (
@@ -23,6 +28,8 @@ func runLoadgen(argv []string) error {
 		lDiv     = fs.Int("l", 4, "diversity l of the single-level test profile")
 		batch    = fs.Int("batch", 0, "items per anonymize_batch request (0 = single ops)")
 		segments = fs.Int("segments", 500, "spread users over segment IDs [0, segments)")
+		ttl      = fs.Duration("ttl", 0,
+			"register with this TTL and let the server expire the registrations (0 = deregister each one)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -47,12 +54,16 @@ func runLoadgen(argv []string) error {
 	}
 	_ = probe.Close()
 
-	fmt.Printf("loadgen against %s: %v clients, %s per step, batch=%d\n",
-		*addr, counts, *duration, *batch)
+	cleanup := "deregister"
+	if *ttl > 0 {
+		cleanup = fmt.Sprintf("ttl=%s", *ttl)
+	}
+	fmt.Printf("loadgen against %s: %v clients, %s per step, batch=%d, cleanup=%s\n",
+		*addr, counts, *duration, *batch, cleanup)
 	fmt.Printf("%-10s %12s %12s %10s %10s\n", "clients", "req/s", "ok", "failed", "speedup")
 	var base float64
 	for _, n := range counts {
-		reqs, fails, err := runStep(*addr, n, *duration, prof, *batch, *segments)
+		reqs, fails, err := runStep(*addr, n, *duration, prof, *batch, *segments, *ttl)
 		if err != nil {
 			return fmt.Errorf("step clients=%d: %w", n, err)
 		}
@@ -72,13 +83,15 @@ func runLoadgen(argv []string) error {
 // runStep drives n concurrent clients (one connection each) for the window
 // and returns the completed and failed request counts. Cloak failures count
 // as completed requests — the server did the work — while transport errors
-// abort the step.
+// abort the step. With ttl == 0, every successful registration is
+// deregistered before the next request, so the step leaves no state behind.
 func runStep(
 	addr string,
 	n int,
 	window time.Duration,
 	prof rc.Profile,
 	batch, segments int,
+	ttl time.Duration,
 ) (int64, int64, error) {
 	clients := make([]*rc.Client, n)
 	for i := range clients {
@@ -95,6 +108,21 @@ func runStep(
 		transport atomic.Pointer[error]
 		wg        sync.WaitGroup
 	)
+	// release deregisters one registration when the step owns cleanup;
+	// with a TTL the server's sweeper reclaims it instead.
+	release := func(c *rc.Client, id string) error {
+		if ttl > 0 {
+			return nil
+		}
+		if err := c.Deregister(id); err != nil {
+			if errors.Is(err, rc.ErrRemote) {
+				failed.Add(1)
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
 	deadline := time.Now().Add(window)
 	for w, c := range clients {
 		wg.Add(1)
@@ -108,6 +136,7 @@ func runStep(
 						specs[j] = rc.AnonymizeSpec{
 							User:    rc.SegmentID((w*131 + i*17 + j) % segments),
 							Profile: prof,
+							TTL:     ttl,
 						}
 						i++
 					}
@@ -119,6 +148,11 @@ func runStep(
 					for _, r := range results {
 						if r.Err != nil {
 							failed.Add(1)
+							continue
+						}
+						if err := release(c, r.RegionID); err != nil {
+							transport.Store(&err)
+							return
 						}
 					}
 					done.Add(int64(len(results)))
@@ -126,12 +160,17 @@ func runStep(
 				}
 				user := rc.SegmentID((w*131 + i*17) % segments)
 				i++
-				if _, _, err := c.Anonymize(user, prof, "RGE"); err != nil {
+				id, _, err := c.AnonymizeTTL(user, prof, "RGE", ttl)
+				if err != nil {
 					if errors.Is(err, rc.ErrRemote) {
 						failed.Add(1)
 						done.Add(1)
 						continue
 					}
+					transport.Store(&err)
+					return
+				}
+				if err := release(c, id); err != nil {
 					transport.Store(&err)
 					return
 				}

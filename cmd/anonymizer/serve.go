@@ -26,6 +26,11 @@ func runServe(argv []string) error {
 		shards  = fs.Int("shards", 0, "registration store shards (0 = default)")
 		workers = fs.Int("workers", 0, "per-connection worker pool size (0 = default)")
 
+		ttl = fs.Duration("ttl", rc.DefaultRegistrationTTL,
+			"registration lifetime before the expiry sweeper reclaims it (0 = live until deregistered)")
+		gcInterval = fs.Duration("gc-interval", rc.DefaultGCInterval,
+			"expiry sweep period (0 disables the sweeper)")
+
 		dataDir = fs.String("data-dir", "",
 			"durable store directory; empty serves from memory only")
 		fsyncStr = fs.String("fsync", "interval",
@@ -59,13 +64,11 @@ func runServe(argv []string) error {
 	}
 
 	var opts []rc.ServerOption
-	if *shards > 0 {
-		opts = append(opts, rc.WithShards(*shards))
-	}
 	if *workers > 0 {
 		opts = append(opts, rc.WithConnWorkers(*workers))
 	}
-	if *dataDir != "" {
+	switch {
+	case *dataDir != "":
 		policy, err := rc.ParseFsyncPolicy(*fsyncStr)
 		if err != nil {
 			return err
@@ -74,6 +77,8 @@ func runServe(argv []string) error {
 			rc.WithFsyncPolicy(policy),
 			rc.WithFsyncEvery(*fsyncEvery),
 			rc.WithSnapshotEvery(*snapEvery),
+			rc.WithTTL(*ttl),
+			rc.WithGCInterval(*gcInterval),
 		}
 		if *snapInterval > 0 {
 			durOpts = append(durOpts, rc.WithSnapshotInterval(*snapInterval))
@@ -90,13 +95,25 @@ func runServe(argv []string) error {
 		defer func() { _ = st.Close() }()
 		rec := st.Recovery()
 		fmt.Printf("durable store %s (fsync=%s): recovered %d registrations, "+
-			"%d trust updates, %d deregistrations",
-			*dataDir, policy, rec.Registrations, rec.TrustUpdates, rec.Deregistrations)
+			"%d trust updates, %d deregistrations, %d expired",
+			*dataDir, policy, rec.Registrations, rec.TrustUpdates,
+			rec.Deregistrations, rec.Expired)
 		if rec.TruncatedBytes > 0 {
 			fmt.Printf(" (dropped %d torn tail bytes)", rec.TruncatedBytes)
 		}
 		fmt.Println()
 		opts = append(opts, rc.WithStore(st))
+	default:
+		// Construct the in-memory store ourselves so the lifecycle flags
+		// apply to it; the server does not close caller-installed stores,
+		// so arrange that here.
+		st := rc.NewShardedStore(*shards,
+			rc.WithStoreTTL(*ttl), rc.WithStoreGCInterval(*gcInterval))
+		defer func() { _ = st.Close() }()
+		opts = append(opts, rc.WithStore(st))
+	}
+	if *ttl > 0 {
+		fmt.Printf("registration ttl %s (sweep every %s)\n", *ttl, *gcInterval)
 	}
 
 	srv, err := rc.NewServer(map[rc.Algorithm]*rc.Engine{

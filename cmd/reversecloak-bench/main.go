@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/reversecloak/reversecloak/internal/bench"
 )
@@ -22,6 +23,7 @@ func main() {
 		fullE10   = flag.Bool("full-e10", false, "run E10 at the paper's full 6979/9187/10000 scale")
 		paper     = flag.Bool("paper-scale", false, "run EVERYTHING at full Atlanta scale (slow)")
 		jsonOut   = flag.String("json", "", "also write machine-readable results to this file")
+		only      = flag.String("only", "", "run only these comma-separated experiment IDs (e.g. E17,E18)")
 	)
 	flag.Parse()
 
@@ -31,6 +33,13 @@ func main() {
 		Segments:  *segments,
 		Cars:      *cars,
 		Trials:    *trials,
+	}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opts.Only = append(opts.Only, id)
+			}
+		}
 	}
 	if *paper {
 		opts.Junctions = 6979

@@ -120,7 +120,9 @@ func (c *Client) Close() error {
 
 // send encodes one request and registers its call slot, preserving the
 // send order / pending order correspondence the wire protocol relies on.
+// Every request is stamped with the client's protocol major.
 func (c *Client) send(req *Request) (*call, error) {
+	req.V = ProtocolMajor
 	cl := &call{done: make(chan struct{})}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -176,17 +178,51 @@ func (c *Client) Ping() error {
 
 // Anonymize requests a cloak for the user's segment under the profile and
 // algorithm ("RGE" or "RPLE"). The server generates and retains the keys;
-// the returned registration ID scopes later key requests.
+// the returned registration ID scopes later key requests. The
+// registration's lifetime is the server's default (AnonymizeTTL bounds it
+// explicitly).
 func (c *Client) Anonymize(
 	user roadnet.SegmentID,
 	prof profile.Profile,
 	algorithm string,
+) (string, *cloak.CloakedRegion, error) {
+	return c.AnonymizeTTL(user, prof, algorithm, 0)
+}
+
+// ttlMillis converts a TTL to its wire encoding, rounding sub-millisecond
+// magnitudes away from zero: 0 on the wire means "server default", so a
+// short positive TTL must never truncate into an unbounded lifetime, and
+// a (nonsensical) negative one must still reach the server's validation
+// rather than silently becoming the default.
+func ttlMillis(ttl time.Duration) int64 {
+	ms := ttl.Milliseconds()
+	if ms == 0 && ttl != 0 {
+		if ttl > 0 {
+			return 1
+		}
+		return -1
+	}
+	return ms
+}
+
+// AnonymizeTTL is Anonymize with an explicit registration lifetime: after
+// ttl elapses the server expires the registration — keys gone, region id
+// unknown — exactly as if it had been deregistered. The wire carries
+// whole milliseconds (sub-millisecond remainders truncate; a positive ttl
+// under 1ms rounds up to it); 0 leaves the lifetime to the server's
+// configured default.
+func (c *Client) AnonymizeTTL(
+	user roadnet.SegmentID,
+	prof profile.Profile,
+	algorithm string,
+	ttl time.Duration,
 ) (string, *cloak.CloakedRegion, error) {
 	resp, err := c.roundTrip(&Request{
 		Op:          OpAnonymize,
 		UserSegment: user,
 		Profile:     &prof,
 		Algorithm:   algorithm,
+		TTLMillis:   ttlMillis(ttl),
 	})
 	if err != nil {
 		return "", nil, err
@@ -202,6 +238,8 @@ type AnonymizeSpec struct {
 	User      roadnet.SegmentID
 	Profile   profile.Profile
 	Algorithm string // "RGE" or "RPLE"; empty means RGE
+	// TTL bounds the registration's lifetime (0 = server default).
+	TTL time.Duration
 }
 
 // AnonymizeResult is one item of an AnonymizeBatch response. Err is set
@@ -228,6 +266,7 @@ func (c *Client) AnonymizeBatch(specs []AnonymizeSpec) ([]AnonymizeResult, error
 			UserSegment: sp.User,
 			Profile:     &prof,
 			Algorithm:   sp.Algorithm,
+			TTLMillis:   ttlMillis(sp.TTL),
 		}
 	}
 	resp, err := c.roundTrip(req)

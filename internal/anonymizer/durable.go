@@ -11,8 +11,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"github.com/reversecloak/reversecloak/internal/accessctl"
 )
 
 // ErrStoreClosed reports use of a closed durable store.
@@ -20,7 +18,8 @@ var ErrStoreClosed = errors.New("anonymizer: store closed")
 
 // FsyncPolicy selects when the durable store forces WAL appends to disk.
 // The policy is the store's durability/throughput dial: E17 in the bench
-// harness measures the cost of each setting.
+// harness measures the cost of each setting, and E18 measures how much of
+// the fsync=always tax group commit recovers.
 type FsyncPolicy int
 
 // Fsync policies.
@@ -29,9 +28,10 @@ const (
 	// goroutine every fsync interval: a crash loses at most the last
 	// interval's acknowledgements, at near-in-memory throughput.
 	FsyncInterval FsyncPolicy = iota
-	// FsyncAlways syncs after every record before the operation is
-	// acknowledged: no acked registration is ever lost, at the price of
-	// one fsync per mutation.
+	// FsyncAlways syncs every record to disk before the operation is
+	// acknowledged: no acked registration is ever lost. Concurrent
+	// mutations on a shard coalesce into one fsync per cohort (group
+	// commit), so the per-operation tax shrinks as concurrency grows.
 	FsyncAlways
 	// FsyncNever leaves flushing to the operating system: the log still
 	// survives process crashes (the kernel holds the pages), but not
@@ -78,6 +78,9 @@ type durabilityConfig struct {
 	fsyncEvery       time.Duration
 	snapshotEvery    int
 	snapshotInterval time.Duration
+	ttl              time.Duration
+	gcInterval       time.Duration
+	now              func() time.Time
 }
 
 // defaultDurabilityConfig returns the config before options are applied.
@@ -90,6 +93,8 @@ func defaultDurabilityConfig() durabilityConfig {
 		fsync:         FsyncInterval,
 		fsyncEvery:    100 * time.Millisecond,
 		snapshotEvery: 4096,
+		gcInterval:    DefaultGCInterval,
+		now:           time.Now,
 	}
 }
 
@@ -138,6 +143,36 @@ func WithDurableShards(n int) DurabilityOption {
 	}
 }
 
+// WithTTL gives every registration without an expiry of its own a default
+// lifetime of d (default 0: registrations live until deregistered unless
+// the client set a TTL). The expiry is journaled with the registration,
+// so it survives restarts.
+func WithTTL(d time.Duration) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if d >= 0 {
+			c.ttl = d
+		}
+	}
+}
+
+// WithGCInterval sets the expiry sweep period (default one minute; 0
+// disables the background sweeper — expired registrations are still
+// invisible immediately, but memory and log space are then only
+// reclaimed by explicit SweepExpired calls or at snapshot compaction,
+// which excludes expired entries).
+func WithGCInterval(d time.Duration) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if d >= 0 {
+			c.gcInterval = d
+		}
+	}
+}
+
+// withDurableClock substitutes the expiry clock (tests).
+func withDurableClock(now func() time.Time) DurabilityOption {
+	return func(c *durabilityConfig) { c.now = now }
+}
+
 // RecoveryStats describes what OpenDurableStore found on disk.
 type RecoveryStats struct {
 	// Registrations is the number of live registrations recovered.
@@ -146,16 +181,21 @@ type RecoveryStats struct {
 	TrustUpdates int
 	// Deregistrations is the number of deregister records replayed.
 	Deregistrations int
+	// Expired is the number of registrations dropped by expiry during
+	// recovery: journaled expire records that removed an entry, plus
+	// registrations whose TTL elapsed while the store was down (recovery
+	// never resurrects a dead region).
+	Expired int
 	// TruncatedBytes counts torn tail bytes dropped across all WALs (0
 	// after a clean shutdown).
 	TruncatedBytes int64
 }
 
-// durableShard is one partition of the durable store: an in-memory map
-// plus the WAL file that journals every mutation of it.
+// durableShard is one partition of the durable store: the in-memory
+// registration table plus the WAL file that journals every mutation of it.
 type durableShard struct {
 	mu         sync.RWMutex
-	regs       map[string]*Registration
+	tab        regTable
 	wal        *os.File
 	walPath    string
 	snapPath   string
@@ -163,14 +203,22 @@ type durableShard struct {
 	walRecords int   // records since the last snapshot
 	dirty      bool  // appends not yet fsynced
 	buf        []byte
+
+	// walEnd mirrors walSize for lock-free reads by the group-commit
+	// leader (it must not take the shard lock while electing a target).
+	walEnd atomic.Int64
+	gc     groupCommit
 }
 
-// DurableStore is a crash-safe Store: every mutation is appended to a
-// per-shard CRC-framed write-ahead log before it becomes visible, shards
-// are periodically compacted into snapshots, and OpenDurableStore replays
-// snapshot + WAL to recover the exact pre-crash registration state —
-// preserving the paper's reversibility guarantee across restarts, since a
-// region is only de-anonymizable while the service still holds its keys.
+// DurableStore is a crash-safe Store: every lifecycle mutation is
+// journaled to a per-shard CRC-framed write-ahead log before it is
+// acknowledged, shards are periodically compacted into snapshots, and
+// OpenDurableStore replays snapshot + WAL through the same apply path the
+// live store uses — preserving the paper's reversibility guarantee across
+// restarts, since a region is only de-anonymizable while the service
+// still holds its keys. Registrations with a TTL expire on schedule: the
+// GC sweeper journals expire mutations, and recovery is expiry-aware, so
+// a reopened store never resurrects a dead region.
 //
 // It is safe for concurrent use and satisfies Store; plug it into a
 // server with WithStore, or let WithDurability construct one for you.
@@ -183,6 +231,12 @@ type DurableStore struct {
 	stats  RecoveryStats
 
 	snapshots atomic.Int64 // compactions performed (observable in tests)
+
+	// The GC sweeper starts lazily, on the first registration (live or
+	// recovered) that can expire, so TTL-free stores never pay the
+	// periodic all-shards scan.
+	gcMu      sync.Mutex
+	gcStarted bool
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -214,6 +268,7 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 		stop:   make(chan struct{}),
 	}
 	var maxID uint64
+	canExpire := false
 	for i := range s.shards {
 		sh, shardMax, err := s.recoverShard(i)
 		if err != nil {
@@ -224,16 +279,25 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 		if shardMax > maxID {
 			maxID = shardMax
 		}
-		s.stats.Registrations += len(sh.regs)
+		s.stats.Registrations += len(sh.tab.regs)
+		for _, reg := range sh.tab.regs {
+			if reg.expiresAt != 0 {
+				canExpire = true
+				break
+			}
+		}
 	}
 	s.nextID.Store(maxID)
 	if cfg.fsync == FsyncInterval {
 		s.bg.Add(1)
-		go s.syncLoop()
+		go tickLoop(&s.bg, s.stop, cfg.fsyncEvery, func() { _ = s.Sync() })
 	}
 	if cfg.snapshotInterval > 0 {
 		s.bg.Add(1)
-		go s.snapshotLoop()
+		go tickLoop(&s.bg, s.stop, cfg.snapshotInterval, s.snapshotDirty)
+	}
+	if canExpire {
+		s.ensureSweeper()
 	}
 	return s, nil
 }
@@ -304,20 +368,55 @@ func loadOrInitMeta(dir string, requested int) (int, error) {
 	return size, nil
 }
 
-// recoverShard loads one shard from its snapshot and WAL. It returns the
-// shard and the highest region-ID counter value seen in any record, so
-// the store never re-issues an ID that was ever acknowledged.
+// recoverShard loads one shard from its snapshot and WAL, replaying every
+// record through the shared mutation-apply path. It returns the shard and
+// the highest region-ID counter value seen in any record, so the store
+// never re-issues an ID that was ever acknowledged.
 func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 	sh := &durableShard{
-		regs:     make(map[string]*Registration),
+		tab:      newRegTable(),
 		walPath:  filepath.Join(s.dir, fmt.Sprintf("shard-%04d.wal", i)),
 		snapPath: filepath.Join(s.dir, fmt.Sprintf("shard-%04d.snap", i)),
 	}
+	sh.gc.init()
+	openNow := s.cfg.now().UnixNano()
 	var maxID uint64
 	note := func(id string) {
 		if n, ok := parseRegionID(id); ok && n > maxID {
 			maxID = n
 		}
+	}
+	// replay routes one record through regTable.apply in replay mode and
+	// keeps the recovery statistics: replayed mutations that change state
+	// are counted per kind, and a register record skipped because its TTL
+	// elapsed while the store was down counts as expired — once per ID,
+	// since a crash between snapshot rename and WAL truncation leaves the
+	// same register record in both.
+	expiredSeen := make(map[string]bool)
+	replay := func(rec *walRecord) error {
+		m, err := mutationFromRecord(rec)
+		if err != nil {
+			return err
+		}
+		note(rec.ID)
+		applied, err := sh.tab.apply(m, applyReplay, openNow)
+		if err != nil {
+			return err
+		}
+		switch {
+		case m.Op == MutRegister && !applied:
+			if !expiredSeen[m.ID] {
+				expiredSeen[m.ID] = true
+				s.stats.Expired++
+			}
+		case m.Op == MutSetTrust && applied:
+			s.stats.TrustUpdates++
+		case m.Op == MutDeregister && applied:
+			s.stats.Deregistrations++
+		case m.Op == MutExpire && applied:
+			s.stats.Expired++
+		}
+		return nil
 	}
 
 	// Snapshots are written to a temp file and renamed into place, so a
@@ -332,13 +431,7 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 				}
 				return nil
 			case recRegister:
-				reg, err := decodeRegistration(rec)
-				if err != nil {
-					return err
-				}
-				note(rec.ID)
-				sh.regs[rec.ID] = reg
-				return nil
+				return replay(rec)
 			default:
 				return fmt.Errorf("%w: unexpected %q record in snapshot", ErrCorruptLog, rec.Type)
 			}
@@ -361,32 +454,15 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 	sh.wal = wal
 	intact, rerr := readRecords(wal, func(rec *walRecord) error {
 		// A register may legitimately duplicate a snapshot entry (crash
-		// between snapshot rename and WAL truncation), and trust or
-		// deregister records for unknown IDs are skipped rather than
-		// fatal: recovery's job is to restore every consistent prefix.
-		switch rec.Type {
-		case recRegister:
-			reg, err := decodeRegistration(rec)
-			if err != nil {
-				return err
-			}
-			note(rec.ID)
-			sh.regs[rec.ID] = reg
-		case recTrust:
-			note(rec.ID)
-			if reg, ok := sh.regs[rec.ID]; ok {
-				if err := reg.policy.SetTrust(rec.Requester, rec.ToLevel); err == nil {
-					s.stats.TrustUpdates++
-				}
-			}
-		case recDeregister:
-			note(rec.ID)
-			if _, ok := sh.regs[rec.ID]; ok {
-				delete(sh.regs, rec.ID)
-				s.stats.Deregistrations++
-			}
-		default:
+		// between snapshot rename and WAL truncation), and mutations whose
+		// target is unknown are skipped rather than fatal: recovery's job
+		// is to restore every consistent prefix. Both behaviors live in
+		// the replay mode of the shared apply.
+		if rec.Type == recSnapHeader {
 			return fmt.Errorf("%w: unexpected %q record in wal", ErrCorruptLog, rec.Type)
+		}
+		if err := replay(rec); err != nil {
+			return err
 		}
 		sh.walRecords++
 		return nil
@@ -413,6 +489,7 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 		}
 	}
 	sh.walSize = intact
+	sh.walEnd.Store(intact)
 	return sh, maxID, nil
 }
 
@@ -433,9 +510,11 @@ func (s *DurableStore) shardFor(id string) *durableShard {
 	return s.shards[shardIndex(id, s.mask)]
 }
 
-// appendLocked journals one record to the shard's WAL under its lock,
-// honoring the fsync policy. On a partial write it rewinds the file to
-// the last intact record so later appends never extend a torn frame.
+// appendLocked journals one record to the shard's WAL under its lock. On
+// a partial write it rewinds the file to the last intact record so later
+// appends never extend a torn frame. Durability is the caller's business:
+// FsyncInterval marks the shard dirty for the background syncer, and
+// FsyncAlways callers wait on the group commit after releasing the lock.
 func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
 	frame, err := appendRecord(sh.buf, rec)
 	if err != nil {
@@ -447,51 +526,86 @@ func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
 		_, _ = sh.wal.Seek(sh.walSize, io.SeekStart)
 		return fmt.Errorf("anonymizer: wal append: %w", err)
 	}
-	if s.cfg.fsync == FsyncAlways {
-		if err := sh.wal.Sync(); err != nil {
-			// Roll the unsynced record back out: the caller reports the
-			// mutation as failed, so recovery must never replay it.
-			_ = sh.wal.Truncate(sh.walSize)
-			_, _ = sh.wal.Seek(sh.walSize, io.SeekStart)
-			return fmt.Errorf("anonymizer: wal sync: %w", err)
-		}
-	} else {
-		sh.dirty = true
-	}
+	sh.dirty = true
 	sh.walSize += int64(len(frame))
+	sh.walEnd.Store(sh.walSize)
 	sh.walRecords++
 	return nil
 }
 
+// mutate runs one lifecycle mutation through the event-sourced pipeline:
+// precondition check, journal, apply, optional compaction, and — under
+// FsyncAlways — a group-commit wait for the record's offset. This is the
+// durable store's only write path; recovery replays the same records
+// through the same apply.
+//
+// A failed group-commit fsync is returned to every cohort waiter whose
+// record may sit in the unsynced tail. Their mutations remain applied in
+// memory (journal-ahead state cannot be selectively rolled back for a
+// cohort); callers must treat the operation as not durably acknowledged,
+// and a subsequent successful sync or snapshot re-converges disk with
+// memory.
+func (s *DurableStore) mutate(m *Mutation) error {
+	now := s.cfg.now().UnixNano()
+	sh := s.shardFor(m.ID)
+	sh.mu.Lock()
+	// Validate before journaling so the WAL never carries a record the
+	// live path rejected.
+	if err := sh.tab.check(m, now); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	if err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	off := sh.walSize
+	epoch := sh.gc.epochLocked()
+	if _, err := sh.tab.apply(m, applyLive, now); err != nil {
+		// check precedes apply under the same lock, so apply cannot fail;
+		// surface it loudly if the invariant ever breaks.
+		sh.mu.Unlock()
+		return err
+	}
+	s.maybeSnapshotLocked(sh)
+	sh.mu.Unlock()
+	if s.cfg.fsync == FsyncAlways {
+		return sh.gc.wait(sh.wal, &sh.walEnd, off, epoch)
+	}
+	return nil
+}
+
 // Register implements Store: the registration is journaled (and, under
-// FsyncAlways, on disk) before it becomes visible or its ID is returned.
+// FsyncAlways, on disk) before its ID is returned. A store-default TTL,
+// when configured, is stamped here so the journaled expiry is exactly the
+// one enforced.
 func (s *DurableStore) Register(reg *Registration) (string, error) {
 	if s.closed.Load() {
 		return "", ErrStoreClosed
 	}
+	reg = withDefaultExpiry(reg, s.cfg.ttl, s.cfg.now())
 	id := fmt.Sprintf("r%d", s.nextID.Add(1))
-	rec := registerRecord(id, reg)
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if err := s.appendLocked(sh, rec); err != nil {
+	if err := s.mutate(&Mutation{Op: MutRegister, ID: id, Reg: reg}); err != nil {
 		return "", err
 	}
-	sh.regs[id] = reg
-	s.maybeSnapshotLocked(sh)
+	if reg.expiresAt != 0 {
+		s.ensureSweeper()
+	}
 	return id, nil
 }
 
-// Lookup implements Store.
+// Lookup implements Store. Expired registrations are unknown the instant
+// their TTL elapses, whether or not the sweeper has reclaimed them yet.
 func (s *DurableStore) Lookup(id string) (*Registration, error) {
 	if id == "" {
 		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
 	}
+	now := s.cfg.now().UnixNano()
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	reg, ok := sh.regs[id]
+	reg := sh.tab.lookup(id, now)
 	sh.mu.RUnlock()
-	if !ok {
+	if reg == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
 	}
 	return reg, nil
@@ -504,29 +618,7 @@ func (s *DurableStore) SetTrust(id, requester string, toLevel int) error {
 	if s.closed.Load() {
 		return ErrStoreClosed
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	reg, ok := sh.regs[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownRegion, id)
-	}
-	// Validate the level before journaling so the WAL never carries a
-	// record the policy would reject on replay.
-	if toLevel < 0 || toLevel > reg.keySet.Levels() {
-		return fmt.Errorf("%w: level %d of %d", accessctl.ErrBadLevel, toLevel, reg.keySet.Levels())
-	}
-	err := s.appendLocked(sh, &walRecord{
-		Type: recTrust, ID: id, Requester: requester, ToLevel: toLevel,
-	})
-	if err != nil {
-		return err
-	}
-	if err := reg.policy.SetTrust(requester, toLevel); err != nil {
-		return err
-	}
-	s.maybeSnapshotLocked(sh)
-	return nil
+	return s.mutate(&Mutation{Op: MutSetTrust, ID: id, Requester: requester, ToLevel: toLevel})
 }
 
 // Deregister implements Store: once journaled, the registration's keys
@@ -538,18 +630,7 @@ func (s *DurableStore) Deregister(id string) error {
 	if id == "" {
 		return fmt.Errorf("%w: missing region id", ErrBadOp)
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.regs[id]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownRegion, id)
-	}
-	if err := s.appendLocked(sh, &walRecord{Type: recDeregister, ID: id}); err != nil {
-		return err
-	}
-	delete(sh.regs, id)
-	s.maybeSnapshotLocked(sh)
-	return nil
+	return s.mutate(&Mutation{Op: MutDeregister, ID: id})
 }
 
 // Len implements Store.
@@ -557,10 +638,63 @@ func (s *DurableStore) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += len(sh.regs)
+		n += len(sh.tab.regs)
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// SweepExpired implements Store: it journals an expire mutation for
+// every registration whose TTL has elapsed and removes it. Expire
+// records are not group-committed: nothing is acknowledged on their
+// back, and recovery re-drops expired registrations regardless, so
+// losing one to a crash is harmless.
+func (s *DurableStore) SweepExpired() (int, error) {
+	if s.closed.Load() {
+		return 0, ErrStoreClosed
+	}
+	now := s.cfg.now().UnixNano()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var ids []string
+		for id, reg := range sh.tab.regs {
+			if reg.expiredAt(now) {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			m := &Mutation{Op: MutExpire, ID: id}
+			if err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
+				sh.mu.Unlock()
+				return n, err
+			}
+			if applied, _ := sh.tab.apply(m, applyLive, now); applied {
+				n++
+			}
+		}
+		if len(ids) > 0 {
+			s.maybeSnapshotLocked(sh)
+		}
+		sh.mu.Unlock()
+	}
+	return n, nil
+}
+
+// ensureSweeper starts the background GC loop once, on the first
+// registration (live or recovered) that can expire.
+func (s *DurableStore) ensureSweeper() {
+	if s.cfg.gcInterval <= 0 {
+		return
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if s.gcStarted || s.closed.Load() {
+		return
+	}
+	s.gcStarted = true
+	s.bg.Add(1)
+	go tickLoop(&s.bg, s.stop, s.cfg.gcInterval, func() { _, _ = s.SweepExpired() })
 }
 
 // maybeSnapshotLocked compacts the shard when its WAL has accumulated
@@ -578,7 +712,15 @@ func (s *DurableStore) maybeSnapshotLocked(sh *durableShard) {
 // the WAL. Ordering matters: the snapshot is durable before the log is
 // truncated, so a crash at any point leaves either the old snapshot+log
 // or the new snapshot (possibly plus a log replaying idempotent records).
+// Pending group-commit waiters complete via the epoch bump: their records
+// are durable inside the just-synced snapshot.
+//
+// Compaction is also a reclamation point: expired registrations are
+// excluded from the snapshot and, once it is durable, dropped from
+// memory — their keys must not outlive the TTL on disk, and recovery
+// would refuse to resurrect them anyway.
 func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
+	now := s.cfg.now().UnixNano()
 	tmp := sh.snapPath + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
@@ -594,9 +736,12 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 		return err
 	}
 	err = write(&walRecord{Type: recSnapHeader, NextID: s.nextID.Load()})
-	for id, reg := range sh.regs {
+	for id, reg := range sh.tab.regs {
 		if err != nil {
 			break
+		}
+		if reg.expiredAt(now) {
+			continue
 		}
 		err = write(registerRecord(id, reg))
 	}
@@ -623,7 +768,17 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 	}
 	sh.walSize = 0
 	sh.walRecords = 0
+	sh.walEnd.Store(0)
 	sh.dirty = false
+	sh.gc.noteTruncate()
+	// The durable image no longer contains the expired entries skipped
+	// above; drop them from memory too (no expire record needed — there
+	// is nothing on disk left to cancel).
+	for id, reg := range sh.tab.regs {
+		if reg.expiredAt(now) {
+			delete(sh.tab.regs, id)
+		}
+	}
 	s.snapshots.Add(1)
 	return nil
 }
@@ -656,7 +811,8 @@ func (s *DurableStore) Snapshot() error {
 	return nil
 }
 
-// Sync forces every shard's WAL to disk (a no-op under FsyncAlways).
+// Sync forces every shard's WAL to disk (under FsyncAlways a safety net;
+// the group commit already synced every acknowledged record).
 func (s *DurableStore) Sync() error {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -684,40 +840,15 @@ func (s *DurableStore) Dir() string { return s.dir }
 // tests and operational introspection).
 func (s *DurableStore) Snapshots() int64 { return s.snapshots.Load() }
 
-// syncLoop is the FsyncInterval background syncer.
-func (s *DurableStore) syncLoop() {
-	defer s.bg.Done()
-	tick := time.NewTicker(s.cfg.fsyncEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case <-tick.C:
-			_ = s.Sync()
-		case <-s.stop:
-			return
+// snapshotDirty compacts every shard with outstanding WAL records (the
+// snapshot-interval background pass).
+func (s *DurableStore) snapshotDirty() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.walRecords > 0 {
+			_ = s.snapshotShardLocked(sh)
 		}
-	}
-}
-
-// snapshotLoop compacts shards with outstanding WAL records every
-// snapshotInterval.
-func (s *DurableStore) snapshotLoop() {
-	defer s.bg.Done()
-	tick := time.NewTicker(s.cfg.snapshotInterval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-tick.C:
-			for _, sh := range s.shards {
-				sh.mu.Lock()
-				if sh.walRecords > 0 {
-					_ = s.snapshotShardLocked(sh)
-				}
-				sh.mu.Unlock()
-			}
-		case <-s.stop:
-			return
-		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -737,7 +868,12 @@ func (s *DurableStore) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	// stop closes under gcMu so a racing ensureSweeper either registered
+	// its goroutine with bg before the close (and bg.Wait reaps it) or
+	// observes closed and starts nothing.
+	s.gcMu.Lock()
 	close(s.stop)
+	s.gcMu.Unlock()
 	s.bg.Wait()
 	var firstErr error
 	for _, sh := range s.shards {

@@ -1,0 +1,185 @@
+package anonymizer
+
+import (
+	"fmt"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+)
+
+// MutationOp discriminates the registration-lifecycle mutations.
+type MutationOp uint8
+
+// The four lifecycle mutations. Every state change of every store — live
+// or replayed from a log — is one of these.
+const (
+	// MutRegister introduces a registration under a fresh region ID.
+	MutRegister MutationOp = iota + 1
+	// MutSetTrust updates one requester's entitlement in the
+	// registration's access-control policy.
+	MutSetTrust
+	// MutDeregister removes a registration at the owner's request,
+	// destroying its keys.
+	MutDeregister
+	// MutExpire removes a registration whose TTL has elapsed. Expire
+	// mutations are appended by the GC sweeper, never by clients, and are
+	// idempotent: expiring an already-removed registration is a no-op.
+	MutExpire
+)
+
+// String implements fmt.Stringer.
+func (op MutationOp) String() string {
+	switch op {
+	case MutRegister:
+		return "register"
+	case MutSetTrust:
+		return "set-trust"
+	case MutDeregister:
+		return "deregister"
+	case MutExpire:
+		return "expire"
+	default:
+		return fmt.Sprintf("MutationOp(%d)", uint8(op))
+	}
+}
+
+// Mutation is one event of the registration lifecycle: the single typed
+// unit that flows through every store. The in-memory store applies
+// mutations directly; the durable store journals a mutation to its WAL and
+// then applies it; recovery replays journaled mutations through the same
+// apply path. There is exactly one apply implementation (regTable.apply),
+// so the live state, the log, and the recovered state can never drift
+// apart structurally.
+type Mutation struct {
+	// Op selects the lifecycle transition.
+	Op MutationOp
+	// ID is the region ID the mutation applies to.
+	ID string
+	// Reg is the registration being introduced (MutRegister only). Its
+	// expiry, if any, rides inside the registration.
+	Reg *Registration
+	// Requester and ToLevel carry the MutSetTrust payload.
+	Requester string
+	ToLevel   int
+}
+
+// applyMode selects live-path or replay-path semantics for apply.
+type applyMode int
+
+const (
+	// applyLive enforces preconditions: mutating an unknown (or expired)
+	// region is an error a client can observe.
+	applyLive applyMode = iota
+	// applyReplay is lenient: recovery's job is to restore every
+	// consistent prefix, so mutations that no longer have a target (their
+	// registration was dropped by a snapshot race, expired while the
+	// store was down, ...) are skipped rather than fatal.
+	applyReplay
+)
+
+// regTable is the in-memory registration state of one store shard. Both
+// store implementations hold one per shard and route every mutation
+// through apply below; the caller provides the locking.
+type regTable struct {
+	regs map[string]*Registration
+}
+
+// newRegTable returns an empty table.
+func newRegTable() regTable {
+	return regTable{regs: make(map[string]*Registration)}
+}
+
+// lookup resolves an ID to its live registration: entries whose TTL has
+// elapsed are invisible even before the sweeper reclaims them (lazy
+// expiry), so expiry is effective the instant it is due.
+func (t regTable) lookup(id string, now int64) *Registration {
+	reg, ok := t.regs[id]
+	if !ok || reg.expiredAt(now) {
+		return nil
+	}
+	return reg
+}
+
+// check validates m's live-path preconditions against the table without
+// mutating anything. The durable store calls it before journaling so the
+// WAL never carries a record the live path would have rejected; apply
+// calls it again (same lock, so nothing can have changed) in live mode.
+func (t regTable) check(m *Mutation, now int64) error {
+	switch m.Op {
+	case MutRegister, MutExpire:
+		return nil
+	case MutSetTrust:
+		reg := t.lookup(m.ID, now)
+		if reg == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownRegion, m.ID)
+		}
+		if m.ToLevel < 0 || m.ToLevel > reg.policy.Levels() {
+			return fmt.Errorf("%w: level %d of %d",
+				accessctl.ErrBadLevel, m.ToLevel, reg.policy.Levels())
+		}
+		return nil
+	case MutDeregister:
+		if t.lookup(m.ID, now) == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownRegion, m.ID)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: mutation %v", ErrBadOp, m.Op)
+	}
+}
+
+// apply transitions the table by one mutation. This is the system's
+// single mutation-apply implementation: the in-memory store, the durable
+// store's journal-then-apply flow and WAL/snapshot replay all route
+// through it. It reports whether the mutation changed state — replay
+// counts recovery statistics off that flag — and now is the clock reading
+// expiry is evaluated against (the current instant live, the open instant
+// during replay, in unix nanoseconds).
+func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
+	if mode == applyLive {
+		if err := t.check(m, now); err != nil {
+			return false, err
+		}
+	}
+	switch m.Op {
+	case MutRegister:
+		if mode == applyReplay && m.Reg.expiredAt(now) {
+			// The TTL elapsed while the store was down: never resurrect a
+			// dead region. A snapshot duplicate already inserted is
+			// removed too, so the outcome is order-independent.
+			delete(t.regs, m.ID)
+			return false, nil
+		}
+		t.regs[m.ID] = m.Reg
+		return true, nil
+	case MutSetTrust:
+		reg := t.lookup(m.ID, now)
+		if reg == nil {
+			return false, nil // replay: target gone, skip
+		}
+		if err := reg.policy.SetTrust(m.Requester, m.ToLevel); err != nil {
+			if mode == applyReplay {
+				return false, nil
+			}
+			return false, err
+		}
+		return true, nil
+	case MutDeregister:
+		if _, ok := t.regs[m.ID]; !ok {
+			return false, nil // replay: already gone, skip
+		}
+		delete(t.regs, m.ID)
+		return true, nil
+	case MutExpire:
+		reg, ok := t.regs[m.ID]
+		if !ok {
+			return false, nil
+		}
+		if mode == applyLive && !reg.expiredAt(now) {
+			return false, nil // raced with nothing to do; expire is idempotent
+		}
+		delete(t.regs, m.ID)
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: mutation %v", ErrBadOp, m.Op)
+	}
+}

@@ -1,0 +1,201 @@
+package anonymizer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// regSummary is the observable state of one visible registration, the
+// view the property test compares across live apply and log replay.
+type regSummary struct {
+	ExpiresAt int64
+	Default   int
+	Grants    map[string]int
+}
+
+// summarize captures the visible (non-expired) state of a table at now.
+func summarize(tab regTable, now int64) map[string]regSummary {
+	out := make(map[string]regSummary)
+	for id, reg := range tab.regs {
+		if reg.expiredAt(now) {
+			continue
+		}
+		out[id] = regSummary{
+			ExpiresAt: reg.expiresAt,
+			Default:   reg.policy.DefaultLevel(),
+			Grants:    reg.policy.Grants(),
+		}
+	}
+	return out
+}
+
+// TestMutationLogReplayPrefixEquivalence is the log/apply equivalence
+// property: replaying any prefix of a journaled mutation log yields
+// exactly the visible store state the live apply path produced at that
+// point. The generator mirrors the durable store's discipline — check,
+// journal (encode to a WAL record), apply — including sweeper-style
+// expire mutations, and replay decodes fresh registrations from the
+// records just as recovery does.
+func TestMutationLogReplayPrefixEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	live := newRegTable()
+	now := time.Now().UnixNano()
+	tick := int64(time.Second)
+
+	type step struct {
+		rec   *walRecord
+		nowAt int64
+	}
+	var (
+		steps  []step
+		states []map[string]regSummary // visible state after steps[:i]
+		ids    []string
+		nextID int
+	)
+	states = append(states, summarize(live, now))
+
+	// journal emulates the durable write path for one candidate mutation:
+	// skipped when its precondition fails (the WAL never carries a record
+	// the live path rejected), otherwise encoded, applied, and recorded
+	// with the clock it was applied under.
+	journal := func(m *Mutation) {
+		if err := live.check(m, now); err != nil {
+			return
+		}
+		rec := recordFromMutation(m)
+		applied, err := live.apply(m, applyLive, now)
+		if err != nil {
+			t.Fatalf("apply after successful check: %v", err)
+		}
+		if m.Op != MutExpire && !applied {
+			t.Fatalf("%v mutation passed check but did not apply", m.Op)
+		}
+		if !applied {
+			return // expire raced with nothing: not journaled by the sweeper either
+		}
+		steps = append(steps, step{rec: rec, nowAt: now})
+		states = append(states, summarize(live, now))
+	}
+
+	for i := 0; i < 300; i++ {
+		now += rng.Int63n(3) * tick
+		switch op := rng.Intn(100); {
+		case op < 45: // register, with a mixed bag of TTLs
+			nextID++
+			id := fmt.Sprintf("r%d", nextID)
+			reg := fakeRegistration(t, 2)
+			switch rng.Intn(3) {
+			case 0: // no expiry
+			case 1: // short TTL: will expire within the run
+				reg.SetExpiry(time.Unix(0, now+rng.Int63n(20)*tick+tick))
+			case 2: // long TTL: outlives the run
+				reg.SetExpiry(time.Unix(0, now+int64(24*time.Hour)))
+			}
+			ids = append(ids, id)
+			journal(&Mutation{Op: MutRegister, ID: id, Reg: reg})
+		case op < 70: // trust, sometimes on bogus ids or with bad levels
+			id := "r999999"
+			if len(ids) > 0 && rng.Intn(10) > 0 {
+				id = ids[rng.Intn(len(ids))]
+			}
+			journal(&Mutation{
+				Op: MutSetTrust, ID: id,
+				Requester: fmt.Sprintf("req%d", rng.Intn(5)),
+				ToLevel:   rng.Intn(4) - 1, // includes invalid -1 and 3
+			})
+		case op < 85: // deregister, sometimes on bogus ids
+			id := "r999999"
+			if len(ids) > 0 && rng.Intn(10) > 0 {
+				id = ids[rng.Intn(len(ids))]
+			}
+			journal(&Mutation{Op: MutDeregister, ID: id})
+		default: // sweep: expire everything due, exactly as the GC does
+			for id, reg := range live.regs {
+				if reg.expiredAt(now) {
+					journal(&Mutation{Op: MutExpire, ID: id})
+				}
+			}
+		}
+	}
+	if len(steps) < 100 {
+		t.Fatalf("generator produced only %d journaled mutations", len(steps))
+	}
+
+	for k := 0; k <= len(steps); k++ {
+		replayed := newRegTable()
+		// Reopen "at the instant of the last journaled mutation": the
+		// replayed visible state must match what the live path saw then.
+		openNow := now
+		if k > 0 {
+			openNow = steps[k-1].nowAt
+		}
+		for _, st := range steps[:k] {
+			m, err := mutationFromRecord(st.rec)
+			if err != nil {
+				t.Fatalf("prefix %d: decoding record: %v", k, err)
+			}
+			if _, err := replayed.apply(m, applyReplay, openNow); err != nil {
+				t.Fatalf("prefix %d: replaying: %v", k, err)
+			}
+		}
+		got := summarize(replayed, openNow)
+		want := states[k]
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("prefix %d: replayed state diverges\n got: %v\nwant: %v", k, got, want)
+		}
+	}
+}
+
+// TestMutationExpireSemantics pins the expire mutation's contract: live
+// expiry only removes entries that are actually due, is idempotent, and
+// unknown targets are never an error.
+func TestMutationExpireSemantics(t *testing.T) {
+	tab := newRegTable()
+	now := time.Now().UnixNano()
+	reg := fakeRegistration(t, 2)
+	reg.SetExpiry(time.Unix(0, now+int64(time.Minute)))
+	if _, err := tab.apply(&Mutation{Op: MutRegister, ID: "r1", Reg: reg}, applyLive, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Not due yet: a live expire is a no-op, not an error.
+	applied, err := tab.apply(&Mutation{Op: MutExpire, ID: "r1"}, applyLive, now)
+	if err != nil || applied {
+		t.Fatalf("premature expire: applied=%v err=%v, want no-op", applied, err)
+	}
+	if tab.lookup("r1", now) == nil {
+		t.Fatal("premature expire removed a live registration")
+	}
+
+	// Due: invisible to lookup immediately, removed by expire, and a
+	// second expire is an idempotent no-op.
+	later := now + int64(2*time.Minute)
+	if tab.lookup("r1", later) != nil {
+		t.Fatal("expired registration still visible to lookup")
+	}
+	if applied, err = tab.apply(&Mutation{Op: MutExpire, ID: "r1"}, applyLive, later); err != nil || !applied {
+		t.Fatalf("due expire: applied=%v err=%v, want applied", applied, err)
+	}
+	if applied, err = tab.apply(&Mutation{Op: MutExpire, ID: "r1"}, applyLive, later); err != nil || applied {
+		t.Fatalf("second expire: applied=%v err=%v, want no-op", applied, err)
+	}
+
+	// Mutating an expired-but-unswept entry fails like an unknown region.
+	reg2 := fakeRegistration(t, 2)
+	reg2.SetExpiry(time.Unix(0, now+int64(time.Minute)))
+	if _, err := tab.apply(&Mutation{Op: MutRegister, ID: "r2", Reg: reg2}, applyLive, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.apply(&Mutation{Op: MutSetTrust, ID: "r2", Requester: "x", ToLevel: 1},
+		applyLive, later); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("trust on expired entry: %v, want ErrUnknownRegion", err)
+	}
+	if _, err := tab.apply(&Mutation{Op: MutDeregister, ID: "r2"},
+		applyLive, later); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("deregister on expired entry: %v, want ErrUnknownRegion", err)
+	}
+}

@@ -27,6 +27,14 @@ import (
 	"github.com/reversecloak/reversecloak/internal/roadnet"
 )
 
+// ProtocolMajor is the wire protocol's major version. Requests carry it
+// in their "v" field; the server rejects majors it does not speak, so the
+// format can evolve incompatibly without silently mis-parsing, and a
+// request without a version (v absent or 0) is treated as major 1 for
+// compatibility with clients that predate versioning. Responses echo the
+// server's major.
+const ProtocolMajor = 1
+
 // Op names the protocol operations.
 type Op string
 
@@ -65,11 +73,20 @@ const (
 
 // Request is one protocol request.
 type Request struct {
-	Op Op `json:"op"`
+	// V is the protocol major version (0 means 1; see ProtocolMajor).
+	// Versioning is per-request framing: batch items carry no version of
+	// their own.
+	V  int `json:"v,omitempty"`
+	Op Op  `json:"op"`
 	// Anonymize.
 	UserSegment roadnet.SegmentID `json:"user_segment,omitempty"`
 	Profile     *profile.Profile  `json:"profile,omitempty"`
 	Algorithm   string            `json:"algorithm,omitempty"` // "RGE" or "RPLE"
+	// TTLMillis bounds the registration's lifetime in milliseconds
+	// (anonymize only): after it elapses the region id behaves exactly as
+	// if deregistered. 0 leaves the lifetime to the server's configured
+	// default; negative is an error.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
 	// Region-scoped operations.
 	RegionID string `json:"region_id,omitempty"`
 	// Access control. ToLevel is the trust level for OpSetTrust and the
@@ -84,12 +101,19 @@ type Request struct {
 
 // Response is one protocol response.
 type Response struct {
+	// V is the server's protocol major (set on top-level responses; batch
+	// items carry no version of their own).
+	V     int    `json:"v,omitempty"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 	// Anonymize / GetRegion.
 	RegionID string               `json:"region_id,omitempty"`
 	Region   *cloak.CloakedRegion `json:"region,omitempty"`
 	Levels   int                  `json:"levels,omitempty"`
+	// ExpiresAtMillis reports the registration's expiry instant (unix
+	// milliseconds) when the anonymize request carried a TTL; 0 when the
+	// request did not bound the lifetime itself.
+	ExpiresAtMillis int64 `json:"expires_at_ms,omitempty"`
 	// Reduce: the privacy level actually reached. A pointer so that level 0
 	// (exact location) stays distinguishable from "no level" on the wire:
 	// omitempty drops only the nil pointer, while reduce responses always

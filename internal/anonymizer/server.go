@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/reversecloak/reversecloak/internal/accessctl"
 	"github.com/reversecloak/reversecloak/internal/cloak"
@@ -21,7 +22,17 @@ var (
 	ErrUnknownRegion = errors.New("anonymizer: unknown region")
 	// ErrBadOp reports an unsupported operation.
 	ErrBadOp = errors.New("anonymizer: bad operation")
+	// ErrVersion reports a request whose protocol major the server does
+	// not speak.
+	ErrVersion = errors.New("anonymizer: unsupported protocol version")
 )
+
+// maxTTL bounds wire-supplied registration lifetimes. Expiry instants
+// are stored as unix nanoseconds (valid through year 2262), so an
+// unchecked ttl_ms near the int64 limit would overflow into the past and
+// the registration would be born expired; a century is beyond any real
+// lifetime while keeping the arithmetic comfortably in range.
+const maxTTL = 100 * 365 * 24 * time.Hour
 
 // ServerOption customizes a Server.
 type ServerOption func(*serverConfig)
@@ -29,6 +40,7 @@ type ServerOption func(*serverConfig)
 // serverConfig collects the tunables behind the options.
 type serverConfig struct {
 	store        Store
+	shards       int
 	durableDir   string
 	durableOpts  []DurabilityOption
 	connWorkers  int
@@ -45,9 +57,9 @@ func WithStore(st Store) ServerOption {
 
 // WithDurability makes the server's registration store crash-safe: the
 // server opens a DurableStore rooted at dir (recovering any state a
-// previous process left there), journals every registration, trust update
-// and deregistration to its write-ahead logs, and closes the store on
-// Close. It overrides WithStore and WithShards.
+// previous process left there), journals every lifecycle mutation to its
+// write-ahead logs, and closes the store on Close. It overrides WithStore
+// and WithShards.
 func WithDurability(dir string, opts ...DurabilityOption) ServerOption {
 	return func(c *serverConfig) {
 		c.durableDir = dir
@@ -60,7 +72,7 @@ func WithDurability(dir string, opts ...DurabilityOption) ServerOption {
 func WithShards(n int) ServerOption {
 	return func(c *serverConfig) {
 		if n > 0 {
-			c.store = NewShardedStore(n)
+			c.shards = n
 		}
 	}
 }
@@ -123,9 +135,10 @@ func defaultServerConfig() serverConfig {
 type Server struct {
 	engines map[cloak.Algorithm]*cloak.Engine
 	store   Store
-	// ownedStore is the durable store the server opened itself (via
-	// WithDurability) and must close on Close; nil otherwise.
-	ownedStore *DurableStore
+	// ownedStore is the store the server created itself (the default
+	// in-memory store, WithShards, or WithDurability) and must close on
+	// Close; nil when the caller installed one via WithStore.
+	ownedStore Store
 	cfg        serverConfig
 
 	mu     sync.Mutex
@@ -146,7 +159,7 @@ func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) 
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	var owned *DurableStore
+	var owned Store
 	if cfg.durableDir != "" {
 		st, err := OpenDurableStore(cfg.durableDir, cfg.durableOpts...)
 		if err != nil {
@@ -156,7 +169,8 @@ func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) 
 		owned = st
 	}
 	if cfg.store == nil {
-		cfg.store = NewShardedStore(DefaultShards)
+		cfg.store = NewShardedStore(cfg.shards)
+		owned = cfg.store
 	}
 	return &Server{
 		engines:    engines,
@@ -253,8 +267,8 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	if s.ownedStore != nil {
-		// Handlers have drained; flush and close the durable store last so
-		// every acknowledged mutation is on disk.
+		// Handlers have drained; flush and close the server-owned store
+		// last so every acknowledged mutation is on disk.
 		if serr := s.ownedStore.Close(); err == nil {
 			err = serr
 		}
@@ -269,8 +283,21 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-// dispatch executes one request.
+// dispatch executes one request. Top-level responses carry the server's
+// protocol major; requests from a future major are rejected before any
+// field is interpreted (their meaning may have changed).
 func (s *Server) dispatch(req *Request) *Response {
+	resp := s.dispatchOp(req)
+	resp.V = ProtocolMajor
+	return resp
+}
+
+// dispatchOp routes one request to its handler.
+func (s *Server) dispatchOp(req *Request) *Response {
+	if req.V > ProtocolMajor {
+		return fail(fmt.Errorf("%w: request major %d, server speaks %d",
+			ErrVersion, req.V, ProtocolMajor))
+	}
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}
@@ -334,10 +361,19 @@ func (s *Server) handleBatch(req *Request, item func(*Request) *Response) *Respo
 	return &Response{OK: true, Batch: out}
 }
 
-// handleAnonymize generates keys, cloaks and registers the result.
+// handleAnonymize generates keys, cloaks and registers the result. A
+// request TTL bounds the registration's lifetime; without one the store's
+// configured default (if any) applies.
 func (s *Server) handleAnonymize(req *Request) *Response {
 	if req.Profile == nil {
 		return fail(fmt.Errorf("%w: missing profile", ErrBadOp))
+	}
+	if req.TTLMillis < 0 {
+		return fail(fmt.Errorf("%w: negative ttl_ms %d", ErrBadOp, req.TTLMillis))
+	}
+	if req.TTLMillis > int64(maxTTL/time.Millisecond) {
+		return fail(fmt.Errorf("%w: ttl_ms %d exceeds maximum %d",
+			ErrBadOp, req.TTLMillis, int64(maxTTL/time.Millisecond)))
 	}
 	algo, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
@@ -370,11 +406,19 @@ func (s *Server) handleAnonymize(req *Request) *Response {
 	if s.isClosed() {
 		return fail(ErrServerClosed)
 	}
-	id, err := s.store.Register(&Registration{region: region, keySet: keySet, policy: policy})
+	reg := &Registration{region: region, keySet: keySet, policy: policy}
+	var expiresAtMillis int64
+	if req.TTLMillis > 0 {
+		expiry := time.Now().Add(time.Duration(req.TTLMillis) * time.Millisecond)
+		reg.SetExpiry(expiry)
+		expiresAtMillis = expiry.UnixMilli()
+	}
+	id, err := s.store.Register(reg)
 	if err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true, RegionID: id, Region: region, Levels: levels}
+	return &Response{OK: true, RegionID: id, Region: region, Levels: levels,
+		ExpiresAtMillis: expiresAtMillis}
 }
 
 // handleGetRegion returns the public region.

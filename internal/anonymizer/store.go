@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/reversecloak/reversecloak/internal/accessctl"
 	"github.com/reversecloak/reversecloak/internal/cloak"
 	"github.com/reversecloak/reversecloak/internal/keys"
+	"github.com/reversecloak/reversecloak/internal/temporal"
 )
 
 // Registration holds the server-side secret state of one cloaked location:
@@ -18,6 +20,11 @@ type Registration struct {
 	region *cloak.CloakedRegion
 	keySet *keys.Set
 	policy *accessctl.Policy
+	// expiresAt is the registration's expiry instant in unix nanoseconds;
+	// 0 means the registration lives until deregistered. Expiry ends the
+	// region's recoverability exactly like a deregistration — the
+	// reversibility contract is time-bounded when a TTL is set.
+	expiresAt int64
 }
 
 // NewRegistration assembles a registration from its parts. The server
@@ -34,23 +41,65 @@ func (r *Registration) Region() *cloak.CloakedRegion { return r.region }
 // Levels returns the number of keyed privacy levels.
 func (r *Registration) Levels() int { return r.keySet.Levels() }
 
+// SetExpiry bounds the registration's lifetime: after t the registration
+// is treated as unknown and the GC sweeper reclaims it. The zero time
+// clears the bound (live until deregistered). Call before Register; a
+// stored registration's expiry must not be mutated.
+func (r *Registration) SetExpiry(t time.Time) {
+	if t.IsZero() {
+		r.expiresAt = 0
+		return
+	}
+	r.expiresAt = t.UnixNano()
+}
+
+// Expiry returns the registration's expiry instant (zero = never).
+func (r *Registration) Expiry() time.Time {
+	if r.expiresAt == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, r.expiresAt).UTC()
+}
+
+// expiredAt reports whether the registration's TTL has elapsed at now
+// (unix nanoseconds).
+func (r *Registration) expiredAt(now int64) bool {
+	return r.expiresAt != 0 && r.expiresAt <= now
+}
+
+// withDefaultExpiry returns reg, or — when reg carries no expiry of its
+// own and the store has a default TTL — a shallow copy carrying the
+// default. Copying (rather than mutating reg) keeps registering one
+// prototype Registration many times safe.
+func withDefaultExpiry(reg *Registration, ttl time.Duration, now time.Time) *Registration {
+	if ttl <= 0 || reg.expiresAt != 0 {
+		return reg
+	}
+	cp := *reg
+	cp.expiresAt = now.Add(ttl).UnixNano()
+	return &cp
+}
+
 // Store holds the server-side registrations. Implementations must be safe
 // for concurrent use; the default is the in-memory sharded store below,
 // and OpenDurableStore provides a crash-safe WAL-backed variant behind the
 // same interface, so alternative backends (replicated, remote, ...) can
 // slot in behind the server.
 //
-// Every mutation of registration state flows through the Store — including
-// trust updates, which touch a policy owned by a registration — so that a
-// durable implementation can write-ahead-log each one.
+// Every mutation of registration state flows through the Store as a typed
+// Mutation — register, set-trust, deregister, expire — applied by one
+// shared implementation (regTable.apply), so a durable implementation can
+// write-ahead-log each one and replay it identically.
 type Store interface {
 	// Register stores a registration and returns its fresh region ID. A
 	// durable store returns an error when the registration could not be
 	// made durable under its fsync policy; the registration is then not
-	// visible and must not be acknowledged to the client.
+	// acknowledged to the client.
 	Register(reg *Registration) (string, error)
 	// Lookup resolves a region ID. It returns ErrUnknownRegion (wrapped)
-	// for IDs that were never registered or were deregistered.
+	// for IDs that were never registered, were deregistered, or whose TTL
+	// has elapsed — expiry is effective immediately, before the sweeper
+	// reclaims the entry.
 	Lookup(id string) (*Registration, error)
 	// SetTrust updates the registration's access-control policy for one
 	// requester (and journals the change in durable implementations).
@@ -59,8 +108,19 @@ type Store interface {
 	// recoverability: after it returns, the keys are gone and no requester
 	// can reduce the region again.
 	Deregister(id string) error
-	// Len reports the number of live registrations.
+	// Len reports the number of stored registrations, counting expired
+	// entries the sweeper has not yet reclaimed.
 	Len() int
+	// SweepExpired reclaims every registration whose TTL has elapsed
+	// (as expire mutations through the shared apply path) and reports
+	// how many it removed. The background sweeper calls it on its GC
+	// interval; it is part of the interface so operators can force a
+	// pass when the background sweeper is disabled.
+	SweepExpired() (int, error)
+	// Close stops background work (GC sweeper, sync and snapshot loops)
+	// and releases resources. The server closes the store it created
+	// itself; a store installed with WithStore is closed by its owner.
+	Close() error
 }
 
 // DefaultShards is the shard count of the default store: enough to keep
@@ -68,25 +128,98 @@ type Store interface {
 // staying cache-friendly.
 const DefaultShards = 64
 
+// DefaultRegistrationTTL is the registration lifetime `anonymizer serve`
+// applies by default, derived from the temporal cloak: a request is only
+// temporally relevant while the coarsest tolerance window that contains
+// it can still be current, so twice the default sigma_t window bounds the
+// useful life of its reversibility (the window that contains the request
+// plus the one in flight).
+const DefaultRegistrationTTL = 2 * temporal.DefaultSigmaT
+
+// DefaultGCInterval is the default period of the expiry sweeper.
+const DefaultGCInterval = time.Minute
+
+// StoreOption tunes the in-memory sharded store's registration lifecycle.
+type StoreOption func(*storeConfig)
+
+// storeConfig collects the in-memory store tunables.
+type storeConfig struct {
+	ttl        time.Duration
+	gcInterval time.Duration
+	now        func() time.Time
+}
+
+// defaultStoreConfig returns the config before options are applied: no
+// default TTL (registrations live until deregistered, the historical
+// behavior) and the default sweep period for registrations that do carry
+// a TTL.
+func defaultStoreConfig() storeConfig {
+	return storeConfig{gcInterval: DefaultGCInterval, now: time.Now}
+}
+
+// WithStoreTTL gives every registration without an expiry of its own a
+// default lifetime of d (0 disables the default; registrations then only
+// expire when the client set a TTL).
+func WithStoreTTL(d time.Duration) StoreOption {
+	return func(c *storeConfig) {
+		if d >= 0 {
+			c.ttl = d
+		}
+	}
+}
+
+// WithStoreGCInterval sets the expiry sweep period (default one minute;
+// 0 disables the background sweeper — expired registrations are still
+// invisible immediately, but their memory is then only reclaimed by
+// explicit SweepExpired calls).
+func WithStoreGCInterval(d time.Duration) StoreOption {
+	return func(c *storeConfig) {
+		if d >= 0 {
+			c.gcInterval = d
+		}
+	}
+}
+
+// withStoreClock substitutes the expiry clock (tests).
+func withStoreClock(now func() time.Time) StoreOption {
+	return func(c *storeConfig) { c.now = now }
+}
+
 // storeShard is one lock-striped partition of the sharded store.
 type storeShard struct {
-	mu   sync.RWMutex
-	regs map[string]*Registration
+	mu  sync.RWMutex
+	tab regTable
 }
 
 // shardedStore is an N-way lock-striped in-memory store. Region IDs are
 // allocated from a single atomic counter (no lock) and mapped to shards by
 // FNV-1a hash, so independent registrations proceed on independent locks.
+// All four lifecycle mutations route through the shared regTable.apply.
 type shardedStore struct {
 	shards []storeShard
 	mask   uint32
 	nextID atomic.Uint64
+	cfg    storeConfig
+
+	// The sweeper starts lazily, on the first registration that can
+	// expire, so TTL-free stores stay goroutine-free and need no Close.
+	gcMu      sync.Mutex
+	gcStarted bool
+	closed    bool
+	stop      chan struct{}
+	bg        sync.WaitGroup
 }
 
 // NewShardedStore builds the default in-memory store with n shards,
-// rounded up to a power of two. n <= 0 selects DefaultShards.
-func NewShardedStore(n int) Store {
-	s := &shardedStore{}
+// rounded up to a power of two. n <= 0 selects DefaultShards. Options
+// configure the registration TTL and its GC sweeper; a store that never
+// sees an expiring registration runs no background work.
+func NewShardedStore(n int, opts ...StoreOption) Store {
+	cfg := defaultStoreConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &shardedStore{cfg: cfg, stop: make(chan struct{})}
 	s.shards, s.mask = makeShards(n)
 	return s
 }
@@ -103,7 +236,7 @@ func makeShards(n int) ([]storeShard, uint32) {
 	}
 	shards := make([]storeShard, size)
 	for i := range shards {
-		shards[i].regs = make(map[string]*Registration)
+		shards[i].tab = newRegTable()
 	}
 	return shards, uint32(size - 1)
 }
@@ -125,13 +258,27 @@ func (s *shardedStore) shardFor(id string) *storeShard {
 	return &s.shards[shardIndex(id, s.mask)]
 }
 
+// mutate applies one lifecycle mutation under its shard's lock — the
+// in-memory store's entire write path.
+func (s *shardedStore) mutate(m *Mutation) error {
+	now := s.cfg.now().UnixNano()
+	sh := s.shardFor(m.ID)
+	sh.mu.Lock()
+	_, err := sh.tab.apply(m, applyLive, now)
+	sh.mu.Unlock()
+	return err
+}
+
 // Register implements Store; the in-memory store cannot fail.
 func (s *shardedStore) Register(reg *Registration) (string, error) {
+	reg = withDefaultExpiry(reg, s.cfg.ttl, s.cfg.now())
 	id := fmt.Sprintf("r%d", s.nextID.Add(1))
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	sh.regs[id] = reg
-	sh.mu.Unlock()
+	if err := s.mutate(&Mutation{Op: MutRegister, ID: id, Reg: reg}); err != nil {
+		return "", err
+	}
+	if reg.expiresAt != 0 {
+		s.ensureSweeper()
+	}
 	return id, nil
 }
 
@@ -140,24 +287,20 @@ func (s *shardedStore) Lookup(id string) (*Registration, error) {
 	if id == "" {
 		return nil, fmt.Errorf("%w: missing region id", ErrBadOp)
 	}
+	now := s.cfg.now().UnixNano()
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	reg, ok := sh.regs[id]
+	reg := sh.tab.lookup(id, now)
 	sh.mu.RUnlock()
-	if !ok {
+	if reg == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, id)
 	}
 	return reg, nil
 }
 
-// SetTrust implements Store by mutating the registration's policy in
-// place (the policy is itself concurrency-safe).
+// SetTrust implements Store.
 func (s *shardedStore) SetTrust(id, requester string, toLevel int) error {
-	reg, err := s.Lookup(id)
-	if err != nil {
-		return err
-	}
-	return reg.policy.SetTrust(requester, toLevel)
+	return s.mutate(&Mutation{Op: MutSetTrust, ID: id, Requester: requester, ToLevel: toLevel})
 }
 
 // Deregister implements Store.
@@ -165,15 +308,7 @@ func (s *shardedStore) Deregister(id string) error {
 	if id == "" {
 		return fmt.Errorf("%w: missing region id", ErrBadOp)
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	_, ok := sh.regs[id]
-	delete(sh.regs, id)
-	sh.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownRegion, id)
-	}
-	return nil
+	return s.mutate(&Mutation{Op: MutDeregister, ID: id})
 }
 
 // Len implements Store.
@@ -182,8 +317,79 @@ func (s *shardedStore) Len() int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		n += len(sh.regs)
+		n += len(sh.tab.regs)
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// SweepExpired implements Store: it removes every registration whose TTL
+// has elapsed, as expire mutations through the shared apply path. The
+// in-memory sweep cannot fail.
+func (s *shardedStore) SweepExpired() (int, error) {
+	now := s.cfg.now().UnixNano()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, reg := range sh.tab.regs {
+			if !reg.expiredAt(now) {
+				continue
+			}
+			if applied, _ := sh.tab.apply(&Mutation{Op: MutExpire, ID: id}, applyLive, now); applied {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n, nil
+}
+
+// ensureSweeper starts the background GC loop once, on the first
+// registration that can expire.
+func (s *shardedStore) ensureSweeper() {
+	if s.cfg.gcInterval <= 0 {
+		return
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if s.gcStarted || s.closed {
+		return
+	}
+	s.gcStarted = true
+	s.bg.Add(1)
+	go tickLoop(&s.bg, s.stop, s.cfg.gcInterval, func() { _, _ = s.SweepExpired() })
+}
+
+// tickLoop runs fn every period until stop closes — the shared shape of
+// every store background loop (GC sweep, WAL sync, snapshot compaction).
+// The caller has already added the goroutine to wg.
+func tickLoop(wg *sync.WaitGroup, stop <-chan struct{}, period time.Duration, fn func()) {
+	defer wg.Done()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fn()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Close stops the GC sweeper. The store itself stays usable — it holds no
+// resources beyond memory — so closing is only about ending background
+// work.
+func (s *shardedStore) Close() error {
+	s.gcMu.Lock()
+	if s.closed {
+		s.gcMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.gcMu.Unlock()
+	s.bg.Wait()
+	return nil
 }

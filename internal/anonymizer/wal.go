@@ -57,6 +57,9 @@ const (
 	recTrust recType = "trust"
 	// recDeregister removes a registration.
 	recDeregister recType = "deregister"
+	// recExpire removes a registration whose TTL elapsed (appended by the
+	// GC sweeper, idempotent on replay).
+	recExpire recType = "expire"
 	// recSnapHeader opens a snapshot file and carries the ID allocator
 	// position.
 	recSnapHeader recType = "snapshot"
@@ -75,6 +78,9 @@ type walRecord struct {
 	Keys    []string             `json:"keys,omitempty"`
 	Default int                  `json:"default"`
 	Grants  map[string]int       `json:"grants,omitempty"`
+	// ExpiresAt is the registration's expiry instant in unix nanoseconds;
+	// 0 (omitted) means the registration never expires.
+	ExpiresAt int64 `json:"expires_at,omitempty"`
 	// Trust payload. ToLevel has no omitempty: level 0 (full
 	// de-anonymization) is a meaningful grant.
 	Requester string `json:"requester,omitempty"`
@@ -167,12 +173,54 @@ var errTornTail = errors.New("anonymizer: torn log tail")
 // policy) as a WAL record.
 func registerRecord(id string, reg *Registration) *walRecord {
 	return &walRecord{
-		Type:    recRegister,
-		ID:      id,
-		Region:  reg.region,
-		Keys:    reg.keySet.EncodeHex(),
-		Default: reg.policy.DefaultLevel(),
-		Grants:  reg.policy.Grants(),
+		Type:      recRegister,
+		ID:        id,
+		Region:    reg.region,
+		Keys:      reg.keySet.EncodeHex(),
+		Default:   reg.policy.DefaultLevel(),
+		Grants:    reg.policy.Grants(),
+		ExpiresAt: reg.expiresAt,
+	}
+}
+
+// recordFromMutation encodes a lifecycle mutation as its WAL record — the
+// journaling half of the event-sourced pipeline. Only the four mutation
+// ops appear here; snapshot headers are framing, not mutations.
+func recordFromMutation(m *Mutation) *walRecord {
+	switch m.Op {
+	case MutRegister:
+		return registerRecord(m.ID, m.Reg)
+	case MutSetTrust:
+		return &walRecord{Type: recTrust, ID: m.ID, Requester: m.Requester, ToLevel: m.ToLevel}
+	case MutDeregister:
+		return &walRecord{Type: recDeregister, ID: m.ID}
+	case MutExpire:
+		return &walRecord{Type: recExpire, ID: m.ID}
+	default:
+		// Unreachable: mutations are built by the stores, never parsed.
+		panic(fmt.Sprintf("anonymizer: no record encoding for mutation %v", m.Op))
+	}
+}
+
+// mutationFromRecord decodes a WAL record back into the mutation it
+// journaled, so replay can route through the same apply path as the live
+// stores. Snapshot headers are not mutations and are rejected.
+func mutationFromRecord(rec *walRecord) (*Mutation, error) {
+	switch rec.Type {
+	case recRegister:
+		reg, err := decodeRegistration(rec)
+		if err != nil {
+			return nil, err
+		}
+		return &Mutation{Op: MutRegister, ID: rec.ID, Reg: reg}, nil
+	case recTrust:
+		return &Mutation{Op: MutSetTrust, ID: rec.ID, Requester: rec.Requester, ToLevel: rec.ToLevel}, nil
+	case recDeregister:
+		return &Mutation{Op: MutDeregister, ID: rec.ID}, nil
+	case recExpire:
+		return &Mutation{Op: MutExpire, ID: rec.ID}, nil
+	default:
+		return nil, fmt.Errorf("%w: unexpected %q record", ErrCorruptLog, rec.Type)
 	}
 }
 
@@ -205,5 +253,7 @@ func decodeRegistration(rec *walRecord) (*Registration, error) {
 				ErrCorruptLog, rec.ID, requester, err)
 		}
 	}
-	return &Registration{region: rec.Region, keySet: ks, policy: policy}, nil
+	return &Registration{
+		region: rec.Region, keySet: ks, policy: policy, expiresAt: rec.ExpiresAt,
+	}, nil
 }

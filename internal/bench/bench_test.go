@@ -104,7 +104,7 @@ func TestRunAllStreamsEverything(t *testing.T) {
 		t.Fatalf("RunAllJSON: %v", err)
 	}
 	out := buf.String()
-	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	for _, id := range ids {
 		if !strings.Contains(out, "["+id+" completed") {
 			t.Errorf("missing experiment %s in output", id)
@@ -125,11 +125,31 @@ func TestRunAllStreamsEverything(t *testing.T) {
 			t.Errorf("%s: artifact entry carries neither rows nor text", res.ID)
 		}
 	}
-	// E16 swept four client counts; E17 compared four store configs.
-	for _, res := range set.Experiments[len(set.Experiments)-2:] {
+	// E16 swept four client counts, E17 compared four store configs, and
+	// E18 swept four writer counts.
+	for _, res := range set.Experiments[len(set.Experiments)-3:] {
 		if len(res.Rows) != 4 {
 			t.Errorf("%s has %d rows, want 4", res.ID, len(res.Rows))
 		}
+	}
+}
+
+// TestRunAllOnlyFilter pins the -only experiment selection used by the CI
+// bench-smoke step: requested IDs run in order, unknown IDs fail loudly.
+func TestRunAllOnlyFilter(t *testing.T) {
+	all := Experiments(false)
+	sel, err := selectExperiments(all, []string{"E17", "E18"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].ID != "E17" || sel[1].ID != "E18" {
+		t.Fatalf("selected %v", sel)
+	}
+	if sel, err = selectExperiments(all, nil); err != nil || len(sel) != len(all) {
+		t.Fatalf("empty filter: %d experiments, %v", len(sel), err)
+	}
+	if _, err := selectExperiments(all, []string{"E99"}); err == nil {
+		t.Error("unknown experiment id must fail")
 	}
 }
 

@@ -48,7 +48,7 @@ func E17DurabilityOverhead(env *Env) (*metrics.Table, error) {
 		"store", "regs/s", "us/op", "logged B/op", "slowdown")
 	var base float64
 	for _, cfg := range configs {
-		rate, bytesPerOp, err := e17Step(cfg.opts, reg, ops, workers)
+		rate, bytesPerOp, err := registerStep(cfg.opts, reg, ops, workers)
 		if err != nil {
 			return nil, fmt.Errorf("E17 %s: %w", cfg.name, err)
 		}
@@ -94,9 +94,61 @@ func e17Registration(env *Env) (*anonymizer.Registration, error) {
 	return nil, fmt.Errorf("bench: no sampled user cloaked successfully")
 }
 
-// e17Step times ops registrations against one store configuration and
-// returns the rate plus the on-disk bytes written per registration.
-func e17Step(
+// E18GroupCommit measures how much of the fsync=always tax group commit
+// recovers: registration throughput under fsync=always versus
+// fsync=interval across concurrent writer counts. Per shard, concurrent
+// appenders coalesce into one fsync per cohort (a leader syncs for
+// everything appended so far), so the per-operation cost shrinks as
+// writers per shard grow. The bench runs a single shard: fsyncs of
+// different WAL files serialize in the filesystem journal anyway, so
+// concentrating writers on one WAL is exactly how a deployment that wants
+// fsync=always should configure the store, and it shows the cohort effect
+// at full strength. "gap" is the fsync=always slowdown relative to
+// fsync=interval at the same concurrency — the number the group commit
+// exists to shrink (from ~30x at one writer to ~2x at 64).
+func E18GroupCommit(env *Env) (*metrics.Table, error) {
+	reg, err := e17Registration(env)
+	if err != nil {
+		return nil, err
+	}
+	const shards = 1
+	ops := 100 * env.Opts.Trials
+	workerCounts := []int{1, 8, 32, 64}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("E18: group commit fsync=always vs interval (%d registrations, %d shards)",
+			ops, shards),
+		"workers", "always regs/s", "interval regs/s", "always us/op", "gap")
+	for _, workers := range workerCounts {
+		always, _, err := registerStep([]anonymizer.DurabilityOption{
+			anonymizer.WithFsyncPolicy(anonymizer.FsyncAlways),
+			anonymizer.WithDurableShards(shards),
+		}, reg, ops, workers)
+		if err != nil {
+			return nil, fmt.Errorf("E18 always workers=%d: %w", workers, err)
+		}
+		interval, _, err := registerStep([]anonymizer.DurabilityOption{
+			anonymizer.WithFsyncPolicy(anonymizer.FsyncInterval),
+			anonymizer.WithDurableShards(shards),
+		}, reg, ops, workers)
+		if err != nil {
+			return nil, fmt.Errorf("E18 interval workers=%d: %w", workers, err)
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.0f", always),
+			fmt.Sprintf("%.0f", interval),
+			fmt.Sprintf("%.1f", 1e6/always),
+			fmt.Sprintf("%.2fx", interval/always),
+		)
+	}
+	return tab, nil
+}
+
+// registerStep times ops registrations against one store configuration
+// and returns the rate plus the on-disk bytes written per registration
+// (E17 and E18 share it).
+func registerStep(
 	durOpts []anonymizer.DurabilityOption,
 	reg *anonymizer.Registration,
 	ops, workers int,

@@ -35,6 +35,10 @@ type Options struct {
 	Trials int
 	// ListLength is RPLE's T. Default cloak.DefaultTransitionListLength.
 	ListLength int
+	// Only restricts a harness run to these experiment IDs (e.g. "E17");
+	// empty runs everything. CI's bench-smoke step uses it to run just
+	// the durability experiments with tiny trial counts.
+	Only []string
 }
 
 // withDefaults fills zero fields.

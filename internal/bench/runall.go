@@ -37,7 +37,31 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E15", "ablation: RPLE list length", wrap(E15ListLengthAblation)},
 		{"E16", "service throughput by concurrency", wrap(E16ServiceThroughput)},
 		{"E17", "durable store overhead by fsync policy", wrap(E17DurabilityOverhead)},
+		{"E18", "group commit fsync=always recovery", wrap(E18GroupCommit)},
 	}
+}
+
+// selectExperiments filters the experiment list to the IDs in only
+// (case-sensitive, e.g. "E17"); an empty only keeps everything. Unknown
+// IDs are an error so a typo in a CI smoke step fails loudly instead of
+// silently running nothing.
+func selectExperiments(all []Experiment, only []string) ([]Experiment, error) {
+	if len(only) == 0 {
+		return all, nil
+	}
+	byID := make(map[string]Experiment, len(all))
+	for _, ex := range all {
+		byID[ex.ID] = ex
+	}
+	out := make([]Experiment, 0, len(only))
+	for _, id := range only {
+		ex, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown experiment %q", id)
+		}
+		out = append(out, ex)
+	}
+	return out, nil
 }
 
 // wrap adapts the concrete experiment signatures.
@@ -70,7 +94,11 @@ func runAll(w io.Writer, opts Options, fullScaleE10 bool) (*ResultSet, error) {
 		Cars:      env.Sim.NumCars(),
 		Trials:    env.Opts.Trials,
 	}
-	for _, ex := range Experiments(fullScaleE10) {
+	selected, err := selectExperiments(Experiments(fullScaleE10), opts.Only)
+	if err != nil {
+		return nil, err
+	}
+	for _, ex := range selected {
 		t0 := time.Now()
 		tab, err := ex.Run(env)
 		if err != nil {

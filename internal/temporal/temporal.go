@@ -28,6 +28,15 @@ import (
 	"github.com/reversecloak/reversecloak/internal/prng"
 )
 
+// DefaultSigmaT is the default coarsest temporal tolerance window: the
+// paper leaves sigma_t a per-request parameter, and one hour is a
+// conservative upper bound on how coarsely a mobile request's timestamp
+// is ever published. Downstream components derive time-bounded contracts
+// from it — the anonymizer's default registration TTL is twice this
+// window, so a registration stays reducible for the whole window that
+// contains its request plus the one in flight.
+const DefaultSigmaT = time.Hour
+
 // Errors returned by the temporal cloak.
 var (
 	// ErrBadTolerance reports a non-positive or non-increasing tolerance.

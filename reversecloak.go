@@ -143,6 +143,9 @@ type (
 	FsyncPolicy = anonymizer.FsyncPolicy
 	// RecoveryStats describes what OpenDurableStore found on disk.
 	RecoveryStats = anonymizer.RecoveryStats
+	// StoreOption tunes the in-memory sharded store's registration
+	// lifecycle (TTL, GC sweep period).
+	StoreOption = anonymizer.StoreOption
 	// Client talks to a Server; it is safe for concurrent use and
 	// pipelines concurrent calls over one connection.
 	Client = anonymizer.Client
@@ -200,6 +203,19 @@ const (
 	FsyncNever = anonymizer.FsyncNever
 )
 
+// Registration lifecycle defaults and protocol constants.
+const (
+	// DefaultRegistrationTTL is the registration lifetime `anonymizer
+	// serve` applies by default, derived from the temporal cloak's
+	// default coarsest tolerance window.
+	DefaultRegistrationTTL = anonymizer.DefaultRegistrationTTL
+	// DefaultGCInterval is the default period of the expiry sweeper.
+	DefaultGCInterval = anonymizer.DefaultGCInterval
+	// ProtocolMajor is the wire protocol's major version; servers reject
+	// requests from a future major.
+	ProtocolMajor = anonymizer.ProtocolMajor
+)
+
 // Re-exported sentinel errors for errors.Is checks at the API boundary.
 var (
 	// ErrCloakFailed reports an unsatisfiable privacy level.
@@ -217,6 +233,9 @@ var (
 	ErrClientClosed = anonymizer.ErrClientClosed
 	// ErrStoreClosed reports use of a closed durable store.
 	ErrStoreClosed = anonymizer.ErrStoreClosed
+	// ErrVersion reports a request whose protocol major the server does
+	// not speak.
+	ErrVersion = anonymizer.ErrVersion
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -309,6 +328,24 @@ func WithMaxBatchSize(n int) ServerOption { return anonymizer.WithMaxBatchSize(n
 // DurableStore the caller opened, inspected and will close itself).
 func WithStore(st Store) ServerOption { return anonymizer.WithStore(st) }
 
+// NewShardedStore builds the default in-memory registration store with n
+// shards (n <= 0 selects the default). Options configure the
+// registration TTL and its GC sweeper; close the store to stop the
+// sweeper when it is not installed into a server that owns it.
+func NewShardedStore(n int, opts ...StoreOption) Store {
+	return anonymizer.NewShardedStore(n, opts...)
+}
+
+// WithStoreTTL gives registrations in the in-memory store a default
+// lifetime (0 disables the default).
+func WithStoreTTL(d time.Duration) StoreOption { return anonymizer.WithStoreTTL(d) }
+
+// WithStoreGCInterval sets the in-memory store's expiry sweep period
+// (0 disables the sweeper).
+func WithStoreGCInterval(d time.Duration) StoreOption {
+	return anonymizer.WithStoreGCInterval(d)
+}
+
 // WithDurability makes the server's registration store crash-safe: it
 // opens (or recovers) a DurableStore rooted at dir, journals every
 // mutation to its write-ahead logs, and closes it on Server.Close.
@@ -342,6 +379,15 @@ func WithSnapshotInterval(d time.Duration) DurabilityOption {
 // The count is fixed at directory initialization; reopening an existing
 // directory keeps its original count.
 func WithDurableShards(n int) DurabilityOption { return anonymizer.WithDurableShards(n) }
+
+// WithTTL gives registrations in the durable store a default lifetime,
+// journaled with each registration so it survives restarts (0 disables
+// the default).
+func WithTTL(d time.Duration) DurabilityOption { return anonymizer.WithTTL(d) }
+
+// WithGCInterval sets the durable store's expiry sweep period (0
+// disables the sweeper).
+func WithGCInterval(d time.Duration) DurabilityOption { return anonymizer.WithGCInterval(d) }
 
 // ParseFsyncPolicy maps "always", "interval" or "never" to its policy.
 func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return anonymizer.ParseFsyncPolicy(s) }
