@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke staticcheck fmt fmt-check vet ci linkcheck examples
+.PHONY: all build test test-full race bench bench-smoke staticcheck fmt fmt-check vet ci linkcheck examples fuzz-smoke e2e
 
 all: build test
 
@@ -46,6 +46,17 @@ staticcheck:
 bench-smoke:
 	$(GO) run ./cmd/reversecloak-bench -only E17,E18 -trials 2 -junctions 400 -segments 540
 
+# Short native-fuzz pass over the WAL and backup-archive decoders (the
+# CI fuzz-smoke step): corrupt input must never panic or over-read.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWALRecord$$' -fuzztime 15s ./internal/anonymizer
+	$(GO) test -run '^$$' -fuzz '^FuzzReadArchive$$' -fuzztime 15s ./internal/anonymizer
+
+# End-to-end data-dir lifecycle: serve -> loadgen -> hot backup ->
+# restore -> reshard -> byte-identical dumps (the CI e2e-backup job).
+e2e:
+	sh scripts/e2e-backup.sh
+
 # Verify that every relative markdown link resolves.
 linkcheck:
 	sh scripts/check-links.sh
@@ -56,4 +67,4 @@ examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" -short || exit 1; done
 
 # Everything the blocking CI jobs run.
-ci: fmt-check vet build test race linkcheck examples
+ci: fmt-check vet build test race linkcheck examples fuzz-smoke e2e

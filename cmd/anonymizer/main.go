@@ -6,15 +6,20 @@
 // and writes the publishable region plus the secret keys to files
 // ("upload" to the LBS provider, keys kept local).
 //
-// Besides the default one-shot cloaking mode, two subcommands exercise the
-// service layer:
+// Besides the default one-shot cloaking mode, subcommands exercise and
+// operate the service layer:
 //
 //	anonymizer serve   -addr :7080 -map small      # run the trusted server
 //	anonymizer loadgen -addr :7080 -clients 1,4,16,64
+//	anonymizer backup  -addr :7080 -out backup.rca # hot backup a live server
+//	anonymizer restore -in backup.rca -data-dir d2 # seed a fresh data dir
+//	anonymizer reshard -src d2 -dst d3 -shards 4   # offline shard migration
+//	anonymizer dump    -data-dir d3                # deterministic state dump
 //
 // loadgen sweeps the number of concurrent clients against a running server
 // and reports req/s per step, demonstrating how the sharded, pipelined
-// service scales with cores.
+// service scales with cores. backup/restore/reshard/dump are the data-dir
+// lifecycle tools; docs/OPERATIONS.md is their runbook.
 package main
 
 import (
@@ -57,6 +62,30 @@ func main() {
 		case "loadgen":
 			if err := runLoadgen(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "anonymizer loadgen:", err)
+				os.Exit(1)
+			}
+			return
+		case "backup":
+			if err := runBackup(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer backup:", err)
+				os.Exit(1)
+			}
+			return
+		case "restore":
+			if err := runRestore(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer restore:", err)
+				os.Exit(1)
+			}
+			return
+		case "reshard":
+			if err := runReshard(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer reshard:", err)
+				os.Exit(1)
+			}
+			return
+		case "dump":
+			if err := runDump(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer dump:", err)
 				os.Exit(1)
 			}
 			return

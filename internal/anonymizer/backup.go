@@ -1,0 +1,269 @@
+package anonymizer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// This file is the backup/restore half of the data-dir lifecycle toolkit:
+// WriteBackup streams a live store (hot backup, the serve "backup" op),
+// BackupDir streams a quiesced directory, and RestoreArchive seeds a fresh
+// data directory from either. Reshard (reshard.go) is the third lifecycle
+// operation. A lost data directory is a permanently unrecoverable set of
+// cloaked regions — the keys ARE the reversibility — so backup shipping is
+// not an optimization here; it is the only way the paper's reversibility
+// guarantee survives the machine.
+
+// countWriter counts bytes through to w.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write implements io.Writer.
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteBackup streams a consistent hot backup of the store to w as one
+// CRC-framed archive and returns the byte count written. It first forces a
+// compaction of every shard (Snapshot), so an fsync failure anywhere in
+// the snapshot path fails the backup rather than shipping an unsynced
+// image; it then copies each shard's snapshot and WAL tail under that
+// shard's read lock, so every shard in the archive is a consistent prefix
+// of its mutation stream — exactly the guarantee crash recovery relies on.
+// The store stays live throughout: mutations landing while the backup
+// streams are captured per shard up to the moment its lock is taken.
+func (s *DurableStore) WriteBackup(w io.Writer) (int64, error) {
+	if s.closed.Load() {
+		return 0, ErrStoreClosed
+	}
+	if err := s.Snapshot(); err != nil {
+		return 0, fmt.Errorf("anonymizer: backup quiesce: %w", err)
+	}
+	cw := &countWriter{w: w}
+	aw := newArchiveWriter(cw)
+	aw.header(len(s.shards), s.nextID.Load())
+	meta, err := encodeMeta(len(s.shards))
+	if err != nil {
+		return cw.n, err
+	}
+	aw.file(metaFile, meta)
+	for _, sh := range s.shards {
+		if aw.err != nil {
+			break
+		}
+		sh.mu.RLock()
+		snap, serr := os.ReadFile(sh.snapPath)
+		var wal []byte
+		var werr error
+		if sh.walSize > 0 {
+			wal, werr = readPrefix(sh.walPath, sh.walSize)
+		}
+		sh.mu.RUnlock()
+		if serr != nil {
+			return cw.n, fmt.Errorf("anonymizer: backup snapshot read: %w", serr)
+		}
+		if werr != nil {
+			return cw.n, fmt.Errorf("anonymizer: backup wal read: %w", werr)
+		}
+		aw.file(filepath.Base(sh.snapPath), snap)
+		aw.file(filepath.Base(sh.walPath), wal)
+	}
+	return cw.n, aw.finish()
+}
+
+// readPrefix reads the first size bytes of path through a fresh read-only
+// handle (the store's own handle is positioned for appends).
+func readPrefix(path string, size int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// BackupDir streams a closed data directory to w as one CRC-framed archive
+// and returns the byte count written. The directory must not be open in a
+// live store (stop the server, or use WriteBackup / the serve backup op
+// for hot backups): BackupDir copies the files as they are, and a
+// concurrent writer could tear them mid-record.
+func BackupDir(w io.Writer, dir string) (int64, error) {
+	shards, err := readMeta(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("anonymizer: %s is not a durable data directory (no %s)", dir, metaFile)
+		}
+		return 0, err
+	}
+	cw := &countWriter{w: w}
+	aw := newArchiveWriter(cw)
+	aw.header(shards, 0)
+	meta, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return cw.n, fmt.Errorf("anonymizer: backup meta read: %w", err)
+	}
+	aw.file(metaFile, meta)
+	for i := 0; i < shards; i++ {
+		for _, name := range []string{shardSnapName(i), shardWALName(i)} {
+			if aw.err != nil {
+				break
+			}
+			content, err := os.ReadFile(filepath.Join(dir, name))
+			if errors.Is(err, os.ErrNotExist) {
+				continue // a never-compacted shard has no snapshot yet
+			}
+			if err != nil {
+				return cw.n, fmt.Errorf("anonymizer: backup read: %w", err)
+			}
+			aw.file(name, content)
+		}
+	}
+	return cw.n, aw.finish()
+}
+
+// shardWALName returns shard i's WAL file name.
+func shardWALName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
+
+// shardSnapName returns shard i's snapshot file name.
+func shardSnapName(i int) string { return fmt.Sprintf("shard-%04d.snap", i) }
+
+// storeFileName matches the files a durable data directory may contain,
+// capturing the shard index. The index is minimum-width (%04d), so counts
+// beyond 9999 shards produce longer names — the pattern must accept them
+// or a large store's own backup would be unrestorable.
+var storeFileName = regexp.MustCompile(`^shard-([0-9]{4,})\.(wal|snap)$`)
+
+// restoreSink materializes an archive into a staging directory.
+type restoreSink struct {
+	dir      string
+	shards   int
+	seen     map[string]bool
+	cur      *os.File
+	curName  string
+	metaSeen bool
+}
+
+// Header implements archiveSink.
+func (r *restoreSink) Header(shards int, _ uint64) error {
+	r.shards = shards
+	return nil
+}
+
+// File implements archiveSink: it opens the next staged file, pinning the
+// exact naming a data directory uses so an archive cannot plant strays.
+// The shard index must lie inside the header's shard count: a file the
+// restored store would never read is worse than a stray — it is key
+// material sitting invisibly in the data dir.
+func (r *restoreSink) File(name string) error {
+	if name != metaFile {
+		m := storeFileName.FindStringSubmatch(name)
+		if m == nil {
+			return badArchive("%q is not a durable-store file", name)
+		}
+		idx, err := strconv.Atoi(m[1])
+		if err != nil || idx >= r.shards {
+			return badArchive("%q is outside the archive's %d shards", name, r.shards)
+		}
+	}
+	if r.seen[name] {
+		return badArchive("duplicate file %q", name)
+	}
+	r.seen[name] = true
+	f, err := os.OpenFile(filepath.Join(r.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("anonymizer: restore create: %w", err)
+	}
+	r.cur, r.curName = f, name
+	return nil
+}
+
+// Data implements archiveSink.
+func (r *restoreSink) Data(chunk []byte) error {
+	if _, err := r.cur.Write(chunk); err != nil {
+		return fmt.Errorf("anonymizer: restore write: %w", err)
+	}
+	return nil
+}
+
+// CloseFile implements archiveSink: the content is already checksum-
+// verified, so all that remains is making it durable.
+func (r *restoreSink) CloseFile() error {
+	if r.curName == metaFile {
+		r.metaSeen = true
+	}
+	err := r.cur.Sync()
+	if cerr := r.cur.Close(); err == nil {
+		err = cerr
+	}
+	r.cur = nil
+	if err != nil {
+		return fmt.Errorf("anonymizer: restore sync: %w", err)
+	}
+	return nil
+}
+
+// End implements archiveSink: the restored directory must be openable, so
+// its META must exist and agree with the archive header.
+func (r *restoreSink) End(int) error {
+	if !r.metaSeen {
+		return badArchive("archive carries no %s", metaFile)
+	}
+	shards, err := readMeta(r.dir)
+	if err != nil {
+		return badArchive("restored %s unreadable: %v", metaFile, err)
+	}
+	if shards != r.shards {
+		return badArchive("%s shard count %d disagrees with archive header %d",
+			metaFile, shards, r.shards)
+	}
+	return syncDir(r.dir)
+}
+
+// RestoreArchive seeds a fresh durable data directory at dir from the
+// archive in r. The archive is staged into a sibling temp directory and
+// verified completely — framing, per-file checksums, file naming, the end
+// record — before a single rename publishes it as dir, so a truncated or
+// corrupted archive fails cleanly without ever creating dir, and a crash
+// mid-restore leaves only a removable staging directory. dir must not
+// already exist: restoring over live state is refused, not merged.
+func RestoreArchive(r io.Reader, dir string) error {
+	if _, err := os.Stat(dir); err == nil {
+		return fmt.Errorf("anonymizer: restore target %s already exists", dir)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("anonymizer: restore target: %w", err)
+	}
+	tmp := dir + ".restore-tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("anonymizer: clearing stale staging dir: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o700); err != nil {
+		return fmt.Errorf("anonymizer: restore staging dir: %w", err)
+	}
+	sink := &restoreSink{dir: tmp, seen: make(map[string]bool)}
+	err := readArchive(r, sink)
+	if sink.cur != nil {
+		_ = sink.cur.Close()
+	}
+	if err != nil {
+		_ = os.RemoveAll(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		_ = os.RemoveAll(tmp)
+		return fmt.Errorf("anonymizer: restore publish: %w", err)
+	}
+	return syncDir(filepath.Dir(dir))
+}

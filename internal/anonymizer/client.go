@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -396,6 +397,27 @@ func (c *Client) ReduceBatch(specs []ReduceSpec) ([]ReduceResult, error) {
 func (c *Client) Deregister(regionID string) error {
 	_, err := c.roundTrip(&Request{Op: OpDeregister, RegionID: regionID})
 	return err
+}
+
+// Backup fetches a hot backup of the server's durable registration store
+// and writes the archive to w, returning the byte count. The archive is
+// self-verifying (RestoreArchive rejects any truncation or corruption) and
+// restores with `anonymizer restore`. Servers without a durable store
+// reject the operation. Responses can be large: prefer a dedicated
+// connection over one carrying pipelined traffic.
+func (c *Client) Backup(w io.Writer) (int64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpBackup})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Archive) == 0 {
+		return 0, fmt.Errorf("%w: response without archive", ErrRemote)
+	}
+	n, err := w.Write(resp.Archive)
+	if err != nil {
+		return int64(n), fmt.Errorf("anonymizer: writing backup: %w", err)
+	}
+	return int64(n), nil
 }
 
 // RequestKeys fetches the keys the requester is entitled to, decoded into

@@ -1,0 +1,185 @@
+package anonymizer
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// errSimulatedCrash stands in for the process dying at a hook point: the
+// snapshot path aborts exactly where a kill would have stopped it, and
+// the test then reopens the directory like a fresh process.
+var errSimulatedCrash = errors.New("simulated crash")
+
+// maxIssuedID returns the highest region-ID counter value among ids.
+func maxIssuedID(t *testing.T, ids []string) uint64 {
+	t.Helper()
+	var max uint64
+	for _, id := range ids {
+		n, ok := parseRegionID(id)
+		if !ok {
+			t.Fatalf("unparseable region id %q", id)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// TestCrashBetweenSnapshotTmpWriteAndRename kills compaction after the
+// temp snapshot is fully written but before the rename publishes it. The
+// WAL is still authoritative: recovery must restore every registration
+// from it, ignore the orphaned .tmp file, and never reissue an ID.
+func TestCrashBetweenSnapshotTmpWriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurableStore(dir, WithDurableShards(1), WithSnapshotEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := st.Register(fakeRegistration(t, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := st.SetTrust(ids[0], "alice", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.hookBeforeSnapRename = func() error { return errSimulatedCrash }
+	if err := st.Snapshot(); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("Snapshot with pre-rename crash: err = %v", err)
+	}
+	// The crash window's on-disk state: tmp written, no published snapshot.
+	if _, err := os.Stat(filepath.Join(dir, "shard-0000.snap.tmp")); err != nil {
+		t.Fatalf("temp snapshot missing after simulated crash: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-0000.snap")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot published despite pre-rename crash (stat err %v)", err)
+	}
+
+	// Crash: abandon without Close, reopen as a fresh process would.
+	st2 := openDurable(t, dir)
+	if got := st2.Len(); got != len(ids) {
+		t.Fatalf("recovered %d registrations, want %d", got, len(ids))
+	}
+	for _, id := range ids {
+		if _, err := st2.Lookup(id); err != nil {
+			t.Errorf("Lookup(%q) after pre-rename crash: %v", id, err)
+		}
+	}
+	reg, err := st2.Lookup(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv, err := reg.policy.LevelFor("alice"); err != nil || lv != 1 {
+		t.Errorf("trust lost across pre-rename crash: LevelFor(alice) = %d, %v", lv, err)
+	}
+	id, err := st2.Register(fakeRegistration(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := parseRegionID(id); n <= maxIssuedID(t, ids) {
+		t.Errorf("recovered store reissued id %q (max issued %d)", id, maxIssuedID(t, ids))
+	}
+}
+
+// TestCrashBetweenSnapshotRenameAndWALTruncate kills compaction after the
+// snapshot is published but before the WAL resets: every register record
+// now exists in both files. Recovery must dedup (each registration once),
+// count nothing as expired, and never reissue an ID.
+func TestCrashBetweenSnapshotRenameAndWALTruncate(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurableStore(dir, WithDurableShards(1), WithSnapshotEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := st.Register(fakeRegistration(t, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	st.hookAfterSnapRename = func() error { return errSimulatedCrash }
+	if err := st.Snapshot(); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("Snapshot with post-rename crash: err = %v", err)
+	}
+	// The crash window's on-disk state: published snapshot AND a full WAL.
+	if _, err := os.Stat(filepath.Join(dir, "shard-0000.snap")); err != nil {
+		t.Fatalf("snapshot missing after post-rename crash: %v", err)
+	}
+	wal, err := os.Stat(filepath.Join(dir, "shard-0000.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal.Size() == 0 {
+		t.Fatal("WAL already truncated; the crash window was not reproduced")
+	}
+
+	st2 := openDurable(t, dir)
+	if got := st2.Len(); got != len(ids) {
+		t.Fatalf("recovered %d registrations from snapshot+WAL duplicates, want %d", got, len(ids))
+	}
+	stats := st2.Recovery()
+	if stats.Registrations != len(ids) || stats.Expired != 0 {
+		t.Errorf("recovery stats %+v, want %d registrations and 0 expired", stats, len(ids))
+	}
+	id, err := st2.Register(fakeRegistration(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := parseRegionID(id); n <= maxIssuedID(t, ids) {
+		t.Errorf("recovered store reissued id %q (max issued %d)", id, maxIssuedID(t, ids))
+	}
+	// A second reopen after a clean close must also converge.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openDurable(t, dir)
+	if got := st3.Len(); got != len(ids)+1 {
+		t.Fatalf("Len = %d after reopen, want %d", got, len(ids)+1)
+	}
+}
+
+// TestBackupAfterCompactionCrash: a store that crashed mid-compaction
+// must still produce a backup that restores byte-identically — backup
+// runs Snapshot first, which retries the interrupted compaction.
+func TestBackupAfterCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurableStore(dir, WithDurableShards(1), WithSnapshotEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := st.Register(fakeRegistration(t, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	st.hookBeforeSnapRename = func() error { return errSimulatedCrash }
+	if err := st.Snapshot(); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	st2 := openDurable(t, dir) // crash + reopen
+
+	var buf bytes.Buffer
+	if _, err := st2.WriteBackup(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "restored")
+	if err := RestoreArchive(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	rst := openDurable(t, dst)
+	if rst.Len() != len(ids) {
+		t.Fatalf("restored Len = %d, want %d", rst.Len(), len(ids))
+	}
+}

@@ -1,0 +1,276 @@
+package anonymizer
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+)
+
+// This file is the conformance harness pinning the data-dir lifecycle
+// toolkit: for any generated mutation log, backup→restore and
+// reshard(k→k') must reproduce a store whose full visible state — every
+// Lookup, every reduction, every expiry, Len() — is byte-identical to the
+// original. The harness drives randomized logs over a fake clock so TTL
+// expiry is deterministic, digests both stores field by field, and runs
+// under -race in CI.
+
+// regDigest is one registration's complete visible state: the canonical
+// region encoding, the per-level keys, the access policy, the expiry
+// instant, and — for registrations whose region came from a real engine —
+// the byte digest of every reduction level.
+type regDigest struct {
+	Region     string
+	Keys       []string
+	Default    int
+	Grants     map[string]int
+	ExpiresAt  int64
+	Reductions []string
+}
+
+// digestStore captures the visible state of every ID in ids against st:
+// live registrations digest fully, unknown/expired/deregistered IDs map
+// to nil so both sides must agree on absence too.
+func digestStore(
+	t *testing.T,
+	st *DurableStore,
+	ids []string,
+	engine *cloak.Engine,
+	engineMade map[string]bool,
+) map[string]*regDigest {
+	t.Helper()
+	out := make(map[string]*regDigest, len(ids))
+	for _, id := range ids {
+		reg, err := st.Lookup(id)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownRegion) {
+				t.Fatalf("Lookup(%q): %v", id, err)
+			}
+			out[id] = nil
+			continue
+		}
+		raw, err := json.Marshal(reg.Region())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &regDigest{
+			Region:    string(raw),
+			Keys:      reg.keySet.EncodeHex(),
+			Default:   reg.policy.DefaultLevel(),
+			Grants:    reg.policy.Grants(),
+			ExpiresAt: reg.expiresAt,
+		}
+		if engineMade[id] {
+			for lv := 0; lv <= reg.Levels(); lv++ {
+				reduced, err := reg.Reduce(engine, lv)
+				if err != nil {
+					t.Fatalf("Reduce(%q, %d): %v", id, lv, err)
+				}
+				rraw, err := json.Marshal(reduced)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.Reductions = append(d.Reductions, string(rraw))
+			}
+		}
+		out[id] = d
+	}
+	return out
+}
+
+// requireSameState fails unless both stores expose byte-identical visible
+// state over ids and identical Len.
+func requireSameState(
+	t *testing.T,
+	label string,
+	want, got map[string]*regDigest,
+	wantLen, gotLen int,
+) {
+	t.Helper()
+	if wantLen != gotLen {
+		t.Fatalf("%s: Len = %d, want %d", label, gotLen, wantLen)
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: id %q missing from digest", label, id)
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s: id %q state diverged:\n want %+v\n  got %+v", label, id, w, g)
+		}
+	}
+}
+
+// conformanceTrial generates one randomized mutation log over a store
+// with k shards, then checks backup→restore and reshard to every count in
+// reshardTo against the original's digest.
+func conformanceTrial(t *testing.T, seed int64, shards int, reshardTo []int) {
+	rng := rand.New(rand.NewSource(seed))
+	clk := newFakeClock() // shared by every store in the trial: expiry is deterministic
+	g, density := testGrid(t)
+	engine, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "orig")
+	st, err := OpenDurableStore(dir,
+		WithDurableShards(shards),
+		WithSnapshotEvery(7), // small: compaction interleaves with the log
+		WithGCInterval(0),    // sweeps are explicit, so the log is deterministic
+		withDurableClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+
+	engineRegs, fakeRegs := 8, 24
+	ops := 60
+	if testing.Short() {
+		engineRegs, fakeRegs, ops = 4, 10, 24
+	}
+
+	var ids []string
+	engineMade := make(map[string]bool)
+	register := func(reg *Registration) {
+		// A third of registrations carry a TTL; half of those are short
+		// enough to expire under the clock advances below.
+		switch rng.Intn(3) {
+		case 0:
+			reg.SetExpiry(clk.Now().Add(time.Duration(1+rng.Intn(40)) * time.Second))
+		case 1:
+			reg.SetExpiry(clk.Now().Add(time.Hour))
+		}
+		id, err := st.Register(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < engineRegs; i++ {
+		user := roadnet.SegmentID(10 + rng.Intn(150))
+		ks, err := keys.AutoGenerate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region, _, err := engine.Anonymize(cloak.Request{
+			UserSegment: user, Profile: testProfile(), Keys: ks.All(),
+		})
+		if err != nil {
+			continue // infeasible cloak; the log just gets shorter
+		}
+		policy, err := accessctl.NewPolicy(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := len(ids)
+		register(NewRegistration(region, ks, policy))
+		if len(ids) > before {
+			engineMade[ids[len(ids)-1]] = true
+		}
+	}
+	for i := 0; i < fakeRegs; i++ {
+		register(fakeRegistration(t, 1+rng.Intn(3)))
+	}
+
+	requesters := []string{"alice", "bob", "carol", "doctor"}
+	for i := 0; i < ops; i++ {
+		id := ids[rng.Intn(len(ids))]
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			reg, err := st.Lookup(id)
+			if err != nil {
+				continue // expired or deregistered: nothing to mutate
+			}
+			lv := rng.Intn(reg.policy.Levels() + 1)
+			if err := st.SetTrust(id, requesters[rng.Intn(len(requesters))], lv); err != nil &&
+				!errors.Is(err, ErrUnknownRegion) {
+				t.Fatal(err)
+			}
+		case 3:
+			if err := st.Deregister(id); err != nil && !errors.Is(err, ErrUnknownRegion) {
+				t.Fatal(err)
+			}
+		case 4:
+			clk.Advance(time.Duration(1+rng.Intn(20)) * time.Second)
+		case 5:
+			if _, err := st.SweepExpired(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Reclaim every elapsed TTL so Len is exactly the live count — the
+	// recovered stores evaluate expiry at open and never hold a dead entry.
+	if _, err := st.SweepExpired(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := digestStore(t, st, ids, engine, engineMade)
+	wantLen := st.Len()
+
+	// Backup → restore must reproduce the state byte-identically.
+	var archive bytes.Buffer
+	if _, err := st.WriteBackup(&archive); err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(t.TempDir(), "restored")
+	if err := RestoreArchive(bytes.NewReader(archive.Bytes()), restored); err != nil {
+		t.Fatal(err)
+	}
+	rst := openDurable(t, restored, withDurableClock(clk.Now), WithGCInterval(0))
+	requireSameState(t, fmt.Sprintf("restore(k=%d)", shards),
+		want, digestStore(t, rst, ids, engine, engineMade), wantLen, rst.Len())
+
+	// The source of the reshards must be quiescent on disk.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range reshardTo {
+		dst := filepath.Join(t.TempDir(), fmt.Sprintf("reshard-%d", k))
+		stats, err := Reshard(dir, dst, k, withDurableClock(clk.Now), WithGCInterval(0))
+		if err != nil {
+			t.Fatalf("Reshard(%d->%d): %v", shards, k, err)
+		}
+		if stats.TargetShards != k {
+			t.Fatalf("Reshard(%d->%d): TargetShards = %d", shards, k, stats.TargetShards)
+		}
+		mst := openDurable(t, dst, withDurableClock(clk.Now), WithGCInterval(0))
+		requireSameState(t, fmt.Sprintf("reshard(%d->%d)", shards, k),
+			want, digestStore(t, mst, ids, engine, engineMade), wantLen, mst.Len())
+		// A fresh registration in the migrated store must not collide with
+		// any ID the source ever issued.
+		id, err := mst.Register(fakeRegistration(t, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range ids {
+			if id == old {
+				t.Fatalf("reshard(%d->%d): reissued id %q", shards, k, id)
+			}
+		}
+	}
+}
+
+// TestConformanceBackupRestoreReshard is the acceptance property test:
+// randomized mutation logs over shard counts {1,4,16}, each checked
+// through backup→restore and reshard to every count in {1,4,16}.
+func TestConformanceBackupRestoreReshard(t *testing.T) {
+	counts := []int{1, 4, 16}
+	for i, k := range counts {
+		k := k
+		seed := int64(1000*i + 17)
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			conformanceTrial(t, seed, k, counts)
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -241,6 +242,13 @@ type DurableStore struct {
 	closed atomic.Bool
 	stop   chan struct{}
 	bg     sync.WaitGroup
+
+	// Crash-simulation test hooks (nil in production): a non-nil error
+	// aborts snapshotShardLocked at that point exactly as a crash would,
+	// leaving the on-disk state of the corresponding failure window —
+	// tmp written but not renamed, or renamed but WAL not yet truncated.
+	hookBeforeSnapRename func() error
+	hookAfterSnapRename  func() error
 }
 
 // OpenDurableStore opens (or initializes) a durable store rooted at dir,
@@ -314,43 +322,66 @@ type storeMeta struct {
 // metaFile is the data-directory header file name.
 const metaFile = "META.json"
 
+// readMeta parses an existing data directory's header and returns its
+// shard count. A missing header reports os.ErrNotExist (wrapped): the
+// directory was never initialized as a durable store.
+func readMeta(dir string) (int, error) {
+	path := filepath.Join(dir, metaFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("anonymizer: reading %s: %w", path, err)
+	}
+	var m storeMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, fmt.Errorf("anonymizer: parsing %s: %w", path, err)
+	}
+	if m.Version != 1 || m.Shards < 1 || m.Shards&(m.Shards-1) != 0 {
+		return 0, fmt.Errorf("anonymizer: unsupported store meta %+v in %s", m, path)
+	}
+	return m.Shards, nil
+}
+
+// encodeMeta renders the header file content for a store of the given
+// shard count — the exact bytes loadOrInitMeta writes, so a hot backup's
+// synthesized META is byte-identical to the on-disk one.
+func encodeMeta(shards int) ([]byte, error) {
+	raw, err := json.Marshal(storeMeta{Version: 1, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
 // loadOrInitMeta returns the directory's shard count, initializing the
 // meta file (atomically) on first open. An existing meta overrides the
 // requested count; resharding an existing directory is an offline
-// migration, not an open-time option.
+// migration (Reshard), not an open-time option.
 func loadOrInitMeta(dir string, requested int) (int, error) {
-	path := filepath.Join(dir, metaFile)
-	raw, err := os.ReadFile(path)
+	size, err := readMeta(dir)
 	if err == nil {
-		var m storeMeta
-		if err := json.Unmarshal(raw, &m); err != nil {
-			return 0, fmt.Errorf("anonymizer: parsing %s: %w", path, err)
-		}
-		if m.Version != 1 || m.Shards < 1 || m.Shards&(m.Shards-1) != 0 {
-			return 0, fmt.Errorf("anonymizer: unsupported store meta %+v in %s", m, path)
-		}
-		return m.Shards, nil
+		return size, nil
 	}
-	if !os.IsNotExist(err) {
-		return 0, fmt.Errorf("anonymizer: reading %s: %w", path, err)
+	if !errors.Is(err, os.ErrNotExist) {
+		return 0, err
 	}
-	size := 1
+	size = 1
 	for size < requested {
 		size <<= 1
 	}
-	raw, err = json.Marshal(storeMeta{Version: 1, Shards: size})
+	raw, err := encodeMeta(size)
 	if err != nil {
 		return 0, err
 	}
 	// Write + fsync + rename, like snapshots: the rename must never be
 	// able to outlive the file contents on a machine crash, or the store
 	// would reopen to an unparseable META.json.
+	path := filepath.Join(dir, metaFile)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
 		return 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
 	}
-	_, err = f.Write(append(raw, '\n'))
+	_, err = f.Write(raw)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -364,7 +395,9 @@ func loadOrInitMeta(dir string, requested int) (int, error) {
 		_ = os.Remove(tmp)
 		return 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
 	}
-	syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
 	return size, nil
 }
 
@@ -375,8 +408,8 @@ func loadOrInitMeta(dir string, requested int) (int, error) {
 func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 	sh := &durableShard{
 		tab:      newRegTable(),
-		walPath:  filepath.Join(s.dir, fmt.Sprintf("shard-%04d.wal", i)),
-		snapPath: filepath.Join(s.dir, fmt.Sprintf("shard-%04d.snap", i)),
+		walPath:  filepath.Join(s.dir, shardWALName(i)),
+		snapPath: filepath.Join(s.dir, shardSnapName(i)),
 	}
 	sh.gc.init()
 	openNow := s.cfg.now().UnixNano()
@@ -386,13 +419,10 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 			maxID = n
 		}
 	}
-	// replay routes one record through regTable.apply in replay mode and
-	// keeps the recovery statistics: replayed mutations that change state
-	// are counted per kind, and a register record skipped because its TTL
-	// elapsed while the store was down counts as expired — once per ID,
-	// since a crash between snapshot rename and WAL truncation leaves the
-	// same register record in both.
-	expiredSeen := make(map[string]bool)
+	// replay routes one record through regTable.apply in replay mode; the
+	// shared tally keeps the recovery statistics (counted per mutation
+	// kind, expired registers once per ID).
+	tally := newReplayTally()
 	replay := func(rec *walRecord) error {
 		m, err := mutationFromRecord(rec)
 		if err != nil {
@@ -403,21 +433,14 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 		if err != nil {
 			return err
 		}
-		switch {
-		case m.Op == MutRegister && !applied:
-			if !expiredSeen[m.ID] {
-				expiredSeen[m.ID] = true
-				s.stats.Expired++
-			}
-		case m.Op == MutSetTrust && applied:
-			s.stats.TrustUpdates++
-		case m.Op == MutDeregister && applied:
-			s.stats.Deregistrations++
-		case m.Op == MutExpire && applied:
-			s.stats.Expired++
-		}
+		tally.note(m, applied)
 		return nil
 	}
+	defer func() {
+		s.stats.TrustUpdates += tally.TrustUpdates
+		s.stats.Deregistrations += tally.Deregistrations
+		s.stats.Expired += tally.Expired
+	}()
 
 	// Snapshots are written to a temp file and renamed into place, so a
 	// snapshot either exists completely or not at all; any framing error
@@ -755,11 +778,26 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("anonymizer: snapshot write: %w", err)
 	}
+	if s.hookBeforeSnapRename != nil {
+		if err := s.hookBeforeSnapRename(); err != nil {
+			return err
+		}
+	}
 	if err := os.Rename(tmp, sh.snapPath); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("anonymizer: snapshot rename: %w", err)
 	}
-	syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		// The rename may not be durable: leave the WAL authoritative (it
+		// still replays into exactly this state) and surface the failure —
+		// Snapshot callers like backup must not report success over it.
+		return err
+	}
+	if s.hookAfterSnapRename != nil {
+		if err := s.hookAfterSnapRename(); err != nil {
+			return err
+		}
+	}
 	if err := sh.wal.Truncate(0); err != nil {
 		return fmt.Errorf("anonymizer: wal reset: %w", err)
 	}
@@ -784,14 +822,27 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed file is reachable after a
-// machine crash; errors are ignored (some filesystems reject dir syncs).
-func syncDir(dir string) {
+// machine crash. Filesystems that simply do not support directory syncs
+// (EINVAL/ENOTSUP) are tolerated; a real failure (EIO, ...) is returned,
+// because callers like Snapshot and backup must not report success over a
+// rename the disk may not have.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return fmt.Errorf("anonymizer: dir sync open: %w", err)
 	}
-	_ = d.Sync()
-	_ = d.Close()
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return fmt.Errorf("anonymizer: dir sync %s: %w", dir, err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("anonymizer: dir sync close: %w", cerr)
+	}
+	return nil
 }
 
 // Snapshot forces a compaction of every shard, e.g. before a planned
@@ -828,6 +879,26 @@ func (s *DurableStore) Sync() error {
 		}
 	}
 	return nil
+}
+
+// Range calls fn for every live registration (expired-but-unswept entries
+// are skipped, matching Lookup's view) until fn returns false. Iteration
+// order is unspecified; fn must not call back into the store.
+func (s *DurableStore) Range(fn func(id string, reg *Registration) bool) {
+	now := s.cfg.now().UnixNano()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, reg := range sh.tab.regs {
+			if reg.expiredAt(now) {
+				continue
+			}
+			if !fn(id, reg) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // Recovery reports what OpenDurableStore found on disk.

@@ -20,7 +20,7 @@ import (
 // fakeRegistration builds a structurally valid registration without
 // running the cloak engine (for store mechanics tests that never
 // de-anonymize).
-func fakeRegistration(t *testing.T, levels int) *Registration {
+func fakeRegistration(t testing.TB, levels int) *Registration {
 	t.Helper()
 	ks, err := keys.AutoGenerate(levels)
 	if err != nil {

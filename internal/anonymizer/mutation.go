@@ -76,6 +76,41 @@ const (
 	applyReplay
 )
 
+// replayTally counts what a replayed mutation stream changed — the one
+// bookkeeping shared by crash recovery (RecoveryStats) and offline
+// resharding (ReshardStats), so the two can never drift on what counts
+// as what. A register that did not apply was dropped by expiry, counted
+// once per ID: after a crash between snapshot rename and WAL truncation
+// the same register record legitimately sits in both files.
+type replayTally struct {
+	TrustUpdates    int
+	Deregistrations int
+	Expired         int
+	expiredSeen     map[string]bool
+}
+
+// newReplayTally returns an empty tally.
+func newReplayTally() *replayTally {
+	return &replayTally{expiredSeen: make(map[string]bool)}
+}
+
+// note records the outcome of one replayed mutation.
+func (t *replayTally) note(m *Mutation, applied bool) {
+	switch {
+	case m.Op == MutRegister && !applied:
+		if !t.expiredSeen[m.ID] {
+			t.expiredSeen[m.ID] = true
+			t.Expired++
+		}
+	case m.Op == MutSetTrust && applied:
+		t.TrustUpdates++
+	case m.Op == MutDeregister && applied:
+		t.Deregistrations++
+	case m.Op == MutExpire && applied:
+		t.Expired++
+	}
+}
+
 // regTable is the in-memory registration state of one store shard. Both
 // store implementations hold one per shard and route every mutation
 // through apply below; the caller provides the locking.

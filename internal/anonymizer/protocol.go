@@ -69,6 +69,13 @@ const (
 	// OpDeregister removes a registration (owner-side): the server
 	// destroys the keys and the region can never be reduced again.
 	OpDeregister Op = "deregister"
+	// OpBackup streams a consistent hot backup of the server's durable
+	// registration store: the response's archive field carries a complete
+	// CRC-framed backup archive (base64 on the wire), restorable with
+	// `anonymizer restore`. Servers whose store is not durable reject the
+	// op. This is an operator endpoint: responses can be large, so take
+	// backups on a dedicated connection rather than a pipelined one.
+	OpBackup Op = "backup"
 )
 
 // Request is one protocol request.
@@ -121,6 +128,9 @@ type Response struct {
 	Level *int `json:"level,omitempty"`
 	// RequestKeys: hex-encoded keys by level index.
 	Keys map[int]string `json:"keys,omitempty"`
+	// Backup: the complete backup archive (encoding/json renders []byte
+	// as base64 on the wire).
+	Archive []byte `json:"archive,omitempty"`
 	// Batch carries the per-item responses of a batch operation,
 	// index-aligned with the request's Batch. The outer OK reports
 	// transport-level success; per-item failures are per-item responses

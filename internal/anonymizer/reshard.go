@@ -1,0 +1,204 @@
+package anonymizer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ReshardStats describes what an offline Reshard migration moved.
+type ReshardStats struct {
+	// SourceShards and TargetShards are the shard counts of the two
+	// directories (target after power-of-two rounding).
+	SourceShards int
+	TargetShards int
+	// Records is the number of mutation records read from the source
+	// (snapshot entries plus WAL records).
+	Records int
+	// Registrations is the number of live registrations in the migrated
+	// store.
+	Registrations int
+	// TrustUpdates and Deregistrations count the WAL mutations replayed.
+	TrustUpdates    int
+	Deregistrations int
+	// Expired counts registrations dropped because their TTL had elapsed
+	// by migration time — a reshard, like recovery, never resurrects a
+	// dead region.
+	Expired int
+	// TruncatedBytes counts torn source-WAL tail bytes skipped (the source
+	// is never modified; reopening it would drop the same bytes).
+	TruncatedBytes int64
+}
+
+// Reshard migrates a durable data directory to a new shard count: it
+// streams every source shard's snapshot and WAL in order, decodes each
+// record back into its typed Mutation, and replays it through the shared
+// regTable.apply path into a fresh store at dstDir — the same code path
+// recovery uses, so the migrated state can no more drift from the source
+// than a reopened store can. Region IDs, trust tables and TTL expiries are
+// preserved bit-for-bit (they ride inside the records), and the ID
+// allocator resumes past the highest ID the source ever issued, so a
+// resharded store never re-issues an ID.
+//
+// The migration is offline: srcDir must not be open in a live store and is
+// only ever read; dstDir must not exist (or be an empty directory). opts
+// apply to the destination store (fsync policy, TTL default, ...); a
+// WithDurableShards among them is overridden by shards. The destination is
+// compacted into snapshots and cleanly closed before Reshard returns, so
+// it reopens without any WAL replay.
+//
+// Why reshard at all: the shard count is fixed in META.json at directory
+// initialization, and the right count is workload-dependent — fsync=always
+// deployments want few shards (group-commit cohorts grow with writers per
+// WAL), fsync=interval deployments want many (parallel background syncs).
+func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*ReshardStats, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: reshard to %d shards", ErrBadOp, shards)
+	}
+	srcShards, err := readMeta(srcDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("anonymizer: %s is not a durable data directory (no %s)", srcDir, metaFile)
+		}
+		return nil, err
+	}
+	if entries, err := os.ReadDir(dstDir); err == nil && len(entries) > 0 {
+		return nil, fmt.Errorf("anonymizer: reshard target %s is not empty", dstDir)
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("anonymizer: reshard target: %w", err)
+	}
+
+	dst, err := OpenDurableStore(dstDir, append(append([]DurabilityOption{}, opts...), WithDurableShards(shards))...)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = dst.Close() }()
+
+	stats := &ReshardStats{SourceShards: srcShards, TargetShards: len(dst.shards)}
+	openNow := dst.cfg.now().UnixNano()
+	var maxID uint64
+	// The same tally recovery keeps: counted per mutation kind, registers
+	// dropped by expiry once per ID.
+	tally := newReplayTally()
+	ingest := func(rec *walRecord) error {
+		if n, ok := parseRegionID(rec.ID); ok && n > maxID {
+			maxID = n
+		}
+		m, err := mutationFromRecord(rec)
+		if err != nil {
+			return err
+		}
+		stats.Records++
+		applied, err := dst.ingest(m, openNow)
+		if err != nil {
+			return err
+		}
+		tally.note(m, applied)
+		return nil
+	}
+
+	for i := 0; i < srcShards; i++ {
+		if err := reshardShard(srcDir, i, stats, &maxID, ingest); err != nil {
+			return nil, err
+		}
+	}
+	stats.TrustUpdates = tally.TrustUpdates
+	stats.Deregistrations = tally.Deregistrations
+	stats.Expired = tally.Expired
+
+	// The allocator must clear every ID the source ever issued — including
+	// deregistered ones — before the snapshot headers pin it.
+	dst.nextID.Store(maxID)
+	if err := dst.Snapshot(); err != nil {
+		return nil, fmt.Errorf("anonymizer: reshard snapshot: %w", err)
+	}
+	stats.Registrations = dst.Len()
+	if err := dst.Close(); err != nil {
+		return nil, fmt.Errorf("anonymizer: reshard close: %w", err)
+	}
+	return stats, nil
+}
+
+// reshardShard streams one source shard — snapshot first, then WAL — into
+// ingest, reading the files strictly read-only. A torn WAL tail is
+// tolerated (and counted) like recovery tolerates it; a damaged snapshot
+// is real corruption and aborts the migration.
+func reshardShard(
+	srcDir string,
+	i int,
+	stats *ReshardStats,
+	maxID *uint64,
+	ingest func(*walRecord) error,
+) error {
+	snapPath := filepath.Join(srcDir, shardSnapName(i))
+	if snap, err := os.Open(snapPath); err == nil {
+		_, rerr := readRecords(snap, func(rec *walRecord) error {
+			if rec.Type == recSnapHeader {
+				if rec.NextID > *maxID {
+					*maxID = rec.NextID
+				}
+				return nil
+			}
+			if rec.Type != recRegister {
+				return fmt.Errorf("%w: unexpected %q record in snapshot", ErrCorruptLog, rec.Type)
+			}
+			return ingest(rec)
+		})
+		_ = snap.Close()
+		if rerr != nil {
+			if errors.Is(rerr, errTornTail) {
+				rerr = fmt.Errorf("%w: truncated snapshot %s", ErrCorruptLog, snapPath)
+			}
+			return rerr
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("anonymizer: reshard snapshot open: %w", err)
+	}
+
+	walPath := filepath.Join(srcDir, shardWALName(i))
+	wal, err := os.Open(walPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("anonymizer: reshard wal open: %w", err)
+	}
+	defer func() { _ = wal.Close() }()
+	intact, rerr := readRecords(wal, func(rec *walRecord) error {
+		if rec.Type == recSnapHeader {
+			return fmt.Errorf("%w: unexpected %q record in wal", ErrCorruptLog, rec.Type)
+		}
+		return ingest(rec)
+	})
+	if rerr != nil && !errors.Is(rerr, errTornTail) {
+		return fmt.Errorf("anonymizer: reshard replaying %s: %w", walPath, rerr)
+	}
+	if end, err := wal.Seek(0, io.SeekEnd); err == nil && end > intact {
+		stats.TruncatedBytes += end - intact
+	}
+	return nil
+}
+
+// ingest journals and applies one replayed mutation during an offline
+// migration — the write path of Reshard. It routes through the same
+// appendLocked + regTable.apply pair as the live mutate path, but in
+// replay mode: mutations whose target is gone (expired, deregistered in a
+// later record) are skipped, never fatal.
+func (s *DurableStore) ingest(m *Mutation, openNow int64) (bool, error) {
+	sh := s.shardFor(m.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
+		return false, err
+	}
+	applied, err := sh.tab.apply(m, applyReplay, openNow)
+	if err != nil {
+		return false, err
+	}
+	// Compact on the usual cadence so a large migration's intermediate WAL
+	// files stay bounded; the final Snapshot compacts whatever remains.
+	s.maybeSnapshotLocked(sh)
+	return applied, nil
+}

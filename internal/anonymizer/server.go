@@ -1,9 +1,11 @@
 package anonymizer
 
 import (
+	"bytes"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -313,6 +315,8 @@ func (s *Server) dispatchOp(req *Request) *Response {
 		return s.handleReduce(req)
 	case OpDeregister:
 		return s.handleDeregister(req)
+	case OpBackup:
+		return s.handleBackup()
 	case OpAnonymizeBatch:
 		return s.handleBatch(req, s.handleAnonymize)
 	case OpReduceBatch:
@@ -457,6 +461,29 @@ func (s *Server) handleDeregister(req *Request) *Response {
 		return fail(err)
 	}
 	return &Response{OK: true}
+}
+
+// backuper is the optional store capability the backup op requires; the
+// durable store implements it, the in-memory one (nothing to back up —
+// its state dies with the process anyway) does not.
+type backuper interface {
+	WriteBackup(w io.Writer) (int64, error)
+}
+
+// handleBackup streams a hot backup of a durable store into the response.
+// The archive is consistent per shard (each shard is copied under its
+// lock as a prefix of its mutation stream) and self-verifying: restore
+// rejects any truncation or corruption the transport may introduce.
+func (s *Server) handleBackup() *Response {
+	b, ok := s.store.(backuper)
+	if !ok {
+		return fail(fmt.Errorf("%w: backup requires a durable store", ErrBadOp))
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteBackup(&buf); err != nil {
+		return fail(err)
+	}
+	return &Response{OK: true, Archive: buf.Bytes()}
 }
 
 // handleRequestKeys grants keys per the policy.

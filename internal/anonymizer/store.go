@@ -67,6 +67,30 @@ func (r *Registration) expiredAt(now int64) bool {
 	return r.expiresAt != 0 && r.expiresAt <= now
 }
 
+// DefaultLevel returns the access level the policy grants requesters
+// without an explicit entitlement.
+func (r *Registration) DefaultLevel() int { return r.policy.DefaultLevel() }
+
+// Grants returns the policy's explicit per-requester entitlements (a
+// copy; mutating it changes nothing).
+func (r *Registration) Grants() map[string]int { return r.policy.Grants() }
+
+// Reduce peels the registration's region down to level with the
+// registration's own keys — the operator-tooling counterpart of the
+// server-side reduce, used by `anonymizer dump` to verify that a restored
+// or resharded store still reduces every region identically. Levels at or
+// above the published one return a clone of the published region.
+func (r *Registration) Reduce(engine *cloak.Engine, level int) (*cloak.CloakedRegion, error) {
+	if level >= r.keySet.Levels() {
+		return r.region.Clone(), nil
+	}
+	grant, err := r.keySet.Grant(level)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Deanonymize(r.region, grant, level)
+}
+
 // withDefaultExpiry returns reg, or — when reg carries no expiry of its
 // own and the store has a default TTL — a shallow copy carrying the
 // default. Copying (rather than mutating reg) keeps registering one

@@ -90,15 +90,12 @@ type walRecord struct {
 	NextID uint64 `json:"next_id,omitempty"`
 }
 
-// appendRecord frames rec into buf (reusing its capacity) and returns the
-// encoded frame ready to be written in one Write call.
-func appendRecord(buf []byte, rec *walRecord) ([]byte, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return nil, fmt.Errorf("anonymizer: encoding wal record: %w", err)
-	}
+// appendFrame frames an opaque payload into buf (reusing its capacity)
+// and returns the encoded frame ready to be written in one Write call.
+// The WAL, snapshots and backup archives all share this framing.
+func appendFrame(buf, payload []byte) ([]byte, error) {
 	if len(payload) > maxWalRecordSize {
-		return nil, fmt.Errorf("anonymizer: wal record of %d bytes exceeds limit", len(payload))
+		return nil, fmt.Errorf("anonymizer: record of %d bytes exceeds frame limit", len(payload))
 	}
 	buf = buf[:0]
 	var hdr [walHeaderSize]byte
@@ -109,14 +106,26 @@ func appendRecord(buf []byte, rec *walRecord) ([]byte, error) {
 	return buf, nil
 }
 
-// readRecords decodes frames from r, calling fn for each intact record.
-// It returns the byte offset just past the last intact record. A clean EOF
-// on a frame boundary returns a nil error; a torn or corrupt tail (short
-// header, short payload, impossible length, CRC mismatch) stops the scan
-// and returns the offset with errTornTail so the caller can truncate the
-// file back to its last consistent prefix. An error from fn aborts
-// immediately and is returned as-is.
-func readRecords(r io.Reader, fn func(*walRecord) error) (int64, error) {
+// appendRecord frames rec into buf (reusing its capacity) and returns the
+// encoded frame ready to be written in one Write call.
+func appendRecord(buf []byte, rec *walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("anonymizer: encoding wal record: %w", err)
+	}
+	return appendFrame(buf, payload)
+}
+
+// readFrames decodes CRC frames from r, calling fn with each intact
+// payload (valid only for the duration of the call; the buffer is
+// reused). It returns the byte offset just past the last intact frame. A
+// clean EOF on a frame boundary returns a nil error; a torn or corrupt
+// tail (short header, short payload, impossible length, CRC mismatch)
+// stops the scan and returns the offset with errTornTail so the caller
+// can truncate the file back to its last consistent prefix — or treat the
+// archive as invalid. An error from fn aborts immediately and is returned
+// as-is.
+func readFrames(r io.Reader, fn func(payload []byte) error) (int64, error) {
 	var (
 		offset int64
 		hdr    [walHeaderSize]byte
@@ -152,17 +161,25 @@ func readRecords(r io.Reader, fn func(*walRecord) error) (int64, error) {
 		if crc32.Checksum(buf, castagnoli) != want {
 			return offset, errTornTail
 		}
-		var rec walRecord
-		if err := json.Unmarshal(buf, &rec); err != nil {
-			// The frame is intact but the payload is not our JSON: this is
-			// not a torn write, it is corruption or a format break.
-			return offset, fmt.Errorf("%w: %v", ErrCorruptLog, err)
-		}
-		if err := fn(&rec); err != nil {
+		if err := fn(buf); err != nil {
 			return offset, err
 		}
 		offset += walHeaderSize + int64(n)
 	}
+}
+
+// readRecords decodes WAL/snapshot frames from r, calling fn for each
+// intact record. Framing semantics are readFrames'; an intact frame whose
+// payload is not our JSON is corruption (or a format break), not a torn
+// write, and aborts with ErrCorruptLog.
+func readRecords(r io.Reader, fn func(*walRecord) error) (int64, error) {
+	return readFrames(r, func(payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptLog, err)
+		}
+		return fn(&rec)
+	})
 }
 
 // errTornTail reports that a scan hit a torn or checksum-failing tail; the

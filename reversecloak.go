@@ -143,6 +143,8 @@ type (
 	FsyncPolicy = anonymizer.FsyncPolicy
 	// RecoveryStats describes what OpenDurableStore found on disk.
 	RecoveryStats = anonymizer.RecoveryStats
+	// ReshardStats describes what an offline Reshard migration moved.
+	ReshardStats = anonymizer.ReshardStats
 	// StoreOption tunes the in-memory sharded store's registration
 	// lifecycle (TTL, GC sweep period).
 	StoreOption = anonymizer.StoreOption
@@ -236,6 +238,9 @@ var (
 	// ErrVersion reports a request whose protocol major the server does
 	// not speak.
 	ErrVersion = anonymizer.ErrVersion
+	// ErrBadArchive reports a truncated or corrupted backup archive;
+	// RestoreArchive never touches the destination once it is returned.
+	ErrBadArchive = anonymizer.ErrBadArchive
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -391,6 +396,25 @@ func WithGCInterval(d time.Duration) DurabilityOption { return anonymizer.WithGC
 
 // ParseFsyncPolicy maps "always", "interval" or "never" to its policy.
 func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return anonymizer.ParseFsyncPolicy(s) }
+
+// BackupDir streams a closed durable data directory to w as one
+// self-verifying CRC-framed backup archive (for live stores use
+// DurableStore.WriteBackup or Client.Backup instead).
+func BackupDir(w io.Writer, dir string) (int64, error) { return anonymizer.BackupDir(w, dir) }
+
+// RestoreArchive seeds a fresh durable data directory at dir from a
+// backup archive, verifying framing and checksums completely before the
+// directory is created; a truncated or corrupted archive fails with
+// ErrBadArchive and leaves nothing behind.
+func RestoreArchive(r io.Reader, dir string) error { return anonymizer.RestoreArchive(r, dir) }
+
+// Reshard migrates a durable data directory (offline) to a new shard
+// count, replaying every journaled mutation through the same apply path
+// recovery uses: IDs, trust tables and TTL expiries are preserved
+// exactly. Options apply to the destination store.
+func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*ReshardStats, error) {
+	return anonymizer.Reshard(srcDir, dstDir, shards, opts...)
+}
 
 // DialServer connects to a trusted anonymization server.
 func DialServer(addr string) (*Client, error) { return anonymizer.Dial(addr) }
