@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke staticcheck fmt fmt-check vet ci linkcheck examples fuzz-smoke e2e
+.PHONY: all build test test-full race bench bench-smoke staticcheck fmt fmt-check vet ci linkcheck examples fuzz-smoke e2e e2e-repl
 
 all: build test
 
@@ -19,7 +19,7 @@ test-full:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/anonymizer ./internal/cloak
+	$(GO) test -race -short ./internal/anonymizer ./internal/anonymizer/repl ./internal/cloak
 
 # Full experiment harness + service throughput benchmarks (the nightly job).
 bench:
@@ -57,6 +57,12 @@ fuzz-smoke:
 e2e:
 	sh scripts/e2e-backup.sh
 
+# End-to-end replication: leader -> follower bootstrap -> catch-up ->
+# leader kill -> promote -> fenced stale leader -> byte-identical dumps,
+# with an incremental-backup leg (the CI e2e-repl job).
+e2e-repl:
+	sh scripts/e2e-repl.sh
+
 # Verify that every relative markdown link resolves.
 linkcheck:
 	sh scripts/check-links.sh
@@ -67,4 +73,4 @@ examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" -short || exit 1; done
 
 # Everything the blocking CI jobs run.
-ci: fmt-check vet build test race linkcheck examples fuzz-smoke e2e
+ci: fmt-check vet build test race linkcheck examples fuzz-smoke e2e e2e-repl

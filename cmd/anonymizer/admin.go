@@ -27,13 +27,17 @@ import (
 // runBackup writes a backup archive of a durable registration store to a
 // file, stdout, or an HTTP(S) sink. With -addr it takes a hot backup from
 // a live server over the wire protocol's backup op; with -data-dir it
-// archives a stopped server's directory offline.
+// archives a stopped server's directory offline. With -since WATERMARK
+// (the watermark printed by an earlier backup) the archive is
+// incremental: only the mutation-stream records after that position,
+// applied onto a restored directory with `restore -apply`.
 func runBackup(argv []string) error {
 	fs := flag.NewFlagSet("backup", flag.ExitOnError)
 	var (
 		addr    = fs.String("addr", "", "take a hot backup from the server at this address")
 		dataDir = fs.String("data-dir", "", "archive this (stopped) data directory offline")
 		out     = fs.String("out", "-", `destination: a file path, "-" for stdout, or an http(s):// URL to POST to`)
+		since   = fs.String("since", "", `ship only stream records after this watermark (e.g. "12,0,7"), as an incremental archive`)
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -41,28 +45,54 @@ func runBackup(argv []string) error {
 	if (*addr == "") == (*dataDir == "") {
 		return fmt.Errorf("exactly one of -addr (hot) or -data-dir (offline) is required")
 	}
+	var sinceWM rc.Watermark
+	if *since != "" {
+		var err error
+		if sinceWM, err = rc.ParseWatermark(*since); err != nil {
+			return err
+		}
+	}
 
 	var buf bytes.Buffer
 	var n int64
 	var err error
 	switch {
+	case *addr != "" && sinceWM != nil:
+		var c *rc.Client
+		if c, err = rc.DialServer(*addr); err != nil {
+			return err
+		}
+		defer func() { _ = c.Close() }()
+		n, err = c.BackupSince(&buf, sinceWM)
 	case *addr != "":
-		c, derr := rc.DialServer(*addr)
-		if derr != nil {
-			return derr
+		var c *rc.Client
+		if c, err = rc.DialServer(*addr); err != nil {
+			return err
 		}
 		defer func() { _ = c.Close() }()
 		n, err = c.Backup(&buf)
+	case sinceWM != nil:
+		n, _, err = rc.IncrementalBackupDir(&buf, *dataDir, sinceWM)
 	default:
 		n, err = rc.BackupDir(&buf, *dataDir)
 	}
 	if err != nil {
 		return err
 	}
+	// The archive's watermark is the -since for the NEXT incremental
+	// backup; surface it so operators can chain cheap frequent deltas.
+	wm, err := rc.ArchiveWatermark(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
 	if err := shipArchive(*out, &buf); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "backup: %d bytes -> %s\n", n, *out)
+	kind := "backup"
+	if sinceWM != nil {
+		kind = "incremental backup"
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d bytes -> %s (watermark %s)\n", kind, n, *out, wm)
 	return nil
 }
 
@@ -103,14 +133,18 @@ func shipArchive(out string, archive *bytes.Buffer) error {
 	return nil
 }
 
-// runRestore seeds a fresh data directory from a backup archive. The
-// archive is verified completely before the directory appears; a
-// truncated or corrupted archive changes nothing on disk.
+// runRestore seeds a fresh data directory from a backup archive — or,
+// with -apply, extends an existing directory with an incremental
+// archive (every delta record lands through the same journal+apply
+// pipeline a replication follower uses). The archive is verified
+// completely; a truncated or corrupted full archive changes nothing on
+// disk.
 func runRestore(argv []string) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
 	var (
 		in      = fs.String("in", "-", `archive source: a file path or "-" for stdin`)
-		dataDir = fs.String("data-dir", "", "data directory to create (must not exist)")
+		dataDir = fs.String("data-dir", "", "data directory to create (or, with -apply, to extend)")
+		apply   = fs.Bool("apply", false, "apply an incremental archive onto an existing data directory")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -126,6 +160,15 @@ func runRestore(argv []string) error {
 		}
 		defer func() { _ = f.Close() }()
 		r = f
+	}
+	if *apply {
+		stats, err := rc.ApplyIncremental(r, *dataDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "restore -apply: %d of %d delta records applied, %s now at watermark %s\n",
+			stats.Applied, stats.Frames, *dataDir, stats.End)
+		return nil
 	}
 	if err := rc.RestoreArchive(r, *dataDir); err != nil {
 		return err

@@ -30,6 +30,9 @@ func runLoadgen(argv []string) error {
 		segments = fs.Int("segments", 500, "spread users over segment IDs [0, segments)")
 		ttl      = fs.Duration("ttl", 0,
 			"register with this TTL and let the server expire the registrations (0 = deregister each one)")
+		readAddr = fs.String("read-addr", "",
+			"aim a get_region read at this address (e.g. a replication follower) after each registration; "+
+				"unknown-region responses count as stale reads (replication lag)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -60,14 +63,20 @@ func runLoadgen(argv []string) error {
 	}
 	fmt.Printf("loadgen against %s: %v clients, %s per step, batch=%d, cleanup=%s\n",
 		*addr, counts, *duration, *batch, cleanup)
-	fmt.Printf("%-10s %12s %12s %10s %10s\n", "clients", "req/s", "ok", "failed", "speedup")
+	if *readAddr != "" {
+		fmt.Printf("reads against %s (stale = registration not yet replicated)\n", *readAddr)
+		fmt.Printf("%-10s %12s %12s %10s %12s %10s %10s\n",
+			"clients", "req/s", "ok", "failed", "reads/s", "stale", "speedup")
+	} else {
+		fmt.Printf("%-10s %12s %12s %10s %10s\n", "clients", "req/s", "ok", "failed", "speedup")
+	}
 	var base float64
 	for _, n := range counts {
-		reqs, fails, err := runStep(*addr, n, *duration, prof, *batch, *segments, *ttl)
+		res, err := runStep(*addr, *readAddr, n, *duration, prof, *batch, *segments, *ttl)
 		if err != nil {
 			return fmt.Errorf("step clients=%d: %w", n, err)
 		}
-		rate := float64(reqs) / duration.Seconds()
+		rate := float64(res.done) / duration.Seconds()
 		if base == 0 && rate > 0 {
 			base = rate
 		}
@@ -75,36 +84,67 @@ func runLoadgen(argv []string) error {
 		if base > 0 {
 			speedup = rate / base
 		}
-		fmt.Printf("%-10d %12.0f %12d %10d %9.2fx\n", n, rate, reqs-fails, fails, speedup)
+		if *readAddr != "" {
+			fmt.Printf("%-10d %12.0f %12d %10d %12.0f %10d %9.2fx\n",
+				n, rate, res.done-res.failed, res.failed,
+				float64(res.reads)/duration.Seconds(), res.stale, speedup)
+		} else {
+			fmt.Printf("%-10d %12.0f %12d %10d %9.2fx\n",
+				n, rate, res.done-res.failed, res.failed, speedup)
+		}
 	}
 	return nil
 }
 
+// stepResult aggregates one sweep step's counters.
+type stepResult struct {
+	done   int64 // completed write requests
+	failed int64 // server-side failures among them
+	reads  int64 // follower reads issued
+	stale  int64 // follower reads that missed (not yet replicated)
+}
+
 // runStep drives n concurrent clients (one connection each) for the window
-// and returns the completed and failed request counts. Cloak failures count
-// as completed requests — the server did the work — while transport errors
-// abort the step. With ttl == 0, every successful registration is
-// deregistered before the next request, so the step leaves no state behind.
+// and returns the step's counters. Cloak failures count as completed
+// requests — the server did the work — while transport errors abort the
+// step. With ttl == 0, every successful registration is deregistered
+// before the next request, so the step leaves no state behind. With a
+// readAddr, each worker also holds a connection there and reads back
+// every registration it creates — aimed at a replication follower, the
+// stale count exposes replication lag under this write load.
 func runStep(
-	addr string,
+	addr, readAddr string,
 	n int,
 	window time.Duration,
 	prof rc.Profile,
 	batch, segments int,
 	ttl time.Duration,
-) (int64, int64, error) {
+) (*stepResult, error) {
 	clients := make([]*rc.Client, n)
 	for i := range clients {
 		c, err := rc.DialServer(addr)
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 		defer func() { _ = c.Close() }()
 		clients[i] = c
 	}
+	readers := make([]*rc.Client, n)
+	if readAddr != "" {
+		for i := range readers {
+			c, err := rc.DialServer(readAddr)
+			if err != nil {
+				return nil, err
+			}
+			defer func() { _ = c.Close() }()
+			readers[i] = c
+		}
+	}
 	var (
 		done      atomic.Int64
 		failed    atomic.Int64
+		reads     atomic.Int64
+		stale     atomic.Int64
 		transport atomic.Pointer[error]
 		wg        sync.WaitGroup
 	)
@@ -126,8 +166,25 @@ func runStep(
 	deadline := time.Now().Add(window)
 	for w, c := range clients {
 		wg.Add(1)
-		go func(c *rc.Client, w int) {
+		go func(c, rd *rc.Client, w int) {
 			defer wg.Done()
+			// read checks one fresh registration on the read address; a
+			// miss is replication lag, not an error. Read BEFORE release so
+			// a deregister cannot race the read.
+			read := func(id string) error {
+				if rd == nil {
+					return nil
+				}
+				reads.Add(1)
+				if _, _, err := rd.GetRegion(id); err != nil {
+					if errors.Is(err, rc.ErrRemote) {
+						stale.Add(1)
+						return nil
+					}
+					return err
+				}
+				return nil
+			}
 			i := 0
 			for time.Now().Before(deadline) {
 				if batch > 0 {
@@ -150,6 +207,10 @@ func runStep(
 							failed.Add(1)
 							continue
 						}
+						if err := read(r.RegionID); err != nil {
+							transport.Store(&err)
+							return
+						}
 						if err := release(c, r.RegionID); err != nil {
 							transport.Store(&err)
 							return
@@ -170,17 +231,25 @@ func runStep(
 					transport.Store(&err)
 					return
 				}
+				if err := read(id); err != nil {
+					transport.Store(&err)
+					return
+				}
 				if err := release(c, id); err != nil {
 					transport.Store(&err)
 					return
 				}
 				done.Add(1)
 			}
-		}(c, w)
+		}(c, readers[w], w)
 	}
 	wg.Wait()
-	if errp := transport.Load(); errp != nil {
-		return done.Load(), failed.Load(), *errp
+	res := &stepResult{
+		done: done.Load(), failed: failed.Load(),
+		reads: reads.Load(), stale: stale.Load(),
 	}
-	return done.Load(), failed.Load(), nil
+	if errp := transport.Load(); errp != nil {
+		return res, *errp
+	}
+	return res, nil
 }

@@ -10,16 +10,23 @@
 // operate the service layer:
 //
 //	anonymizer serve   -addr :7080 -map small      # run the trusted server
+//	anonymizer serve   -addr :7081 -data-dir d2 -replicate-from :7080
 //	anonymizer loadgen -addr :7080 -clients 1,4,16,64
 //	anonymizer backup  -addr :7080 -out backup.rca # hot backup a live server
+//	anonymizer backup  -addr :7080 -since 12,0,7 -out delta.rca
 //	anonymizer restore -in backup.rca -data-dir d2 # seed a fresh data dir
+//	anonymizer restore -apply -in delta.rca -data-dir d2
 //	anonymizer reshard -src d2 -dst d3 -shards 4   # offline shard migration
 //	anonymizer dump    -data-dir d3                # deterministic state dump
+//	anonymizer status  -addr :7081                 # replication role and lag
+//	anonymizer promote -addr :7081                 # fail over to a follower
 //
 // loadgen sweeps the number of concurrent clients against a running server
 // and reports req/s per step, demonstrating how the sharded, pipelined
-// service scales with cores. backup/restore/reshard/dump are the data-dir
-// lifecycle tools; docs/OPERATIONS.md is their runbook.
+// service scales with cores (with -read-addr it aims reads at a follower).
+// backup/restore/reshard/dump are the data-dir lifecycle tools, and
+// serve -replicate-from / status / promote are the replication tools;
+// docs/OPERATIONS.md is their runbook.
 package main
 
 import (
@@ -86,6 +93,18 @@ func main() {
 		case "dump":
 			if err := runDump(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "anonymizer dump:", err)
+				os.Exit(1)
+			}
+			return
+		case "promote":
+			if err := runPromote(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer promote:", err)
+				os.Exit(1)
+			}
+			return
+		case "status":
+			if err := runStatus(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "anonymizer status:", err)
 				os.Exit(1)
 			}
 			return

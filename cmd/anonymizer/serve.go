@@ -14,7 +14,11 @@ import (
 // runServe starts the trusted anonymization server over a preset map and
 // blocks until SIGINT/SIGTERM. With -data-dir the registration store is
 // durable: every registration, trust update and deregistration is
-// journaled to per-shard write-ahead logs and recovered on restart.
+// journaled to per-shard write-ahead logs and recovered on restart. With
+// -replicate-from the server runs as a replication follower of another
+// anonymizer: it bootstraps from a hot backup if its data dir is fresh,
+// tails the leader's mutation stream, serves reads locally, redirects
+// writes to the leader, and can be promoted with `anonymizer promote`.
 func runServe(argv []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
@@ -25,6 +29,11 @@ func runServe(argv []string) error {
 		rpleT   = fs.Int("rple-list", 16, "RPLE transition list length T")
 		shards  = fs.Int("shards", 0, "registration store shards (0 = default)")
 		workers = fs.Int("workers", 0, "per-connection worker pool size (0 = default)")
+
+		replicateFrom = fs.String("replicate-from", "",
+			"run as a replication follower of the leader at this address (requires -data-dir)")
+		advertise = fs.String("advertise", "",
+			"address clients and the leader should reach this node at (default: -addr)")
 
 		ttl = fs.Duration("ttl", rc.DefaultRegistrationTTL,
 			"registration lifetime before the expiry sweeper reclaims it (0 = live until deregistered)")
@@ -67,7 +76,42 @@ func runServe(argv []string) error {
 	if *workers > 0 {
 		opts = append(opts, rc.WithConnWorkers(*workers))
 	}
+	if *advertise == "" {
+		*advertise = *addr
+	}
 	switch {
+	case *replicateFrom != "":
+		if *dataDir == "" {
+			return fmt.Errorf("-replicate-from requires -data-dir")
+		}
+		policy, err := rc.ParseFsyncPolicy(*fsyncStr)
+		if err != nil {
+			return err
+		}
+		durOpts := []rc.DurabilityOption{
+			rc.WithFsyncPolicy(policy),
+			rc.WithFsyncEvery(*fsyncEvery),
+			rc.WithSnapshotEvery(*snapEvery),
+			rc.WithTTL(*ttl),
+			rc.WithGCInterval(*gcInterval),
+		}
+		if *snapInterval > 0 {
+			durOpts = append(durOpts, rc.WithSnapshotInterval(*snapInterval))
+		}
+		f, err := rc.StartFollower(rc.FollowerConfig{
+			LeaderAddr:   *replicateFrom,
+			DataDir:      *dataDir,
+			Advertise:    *advertise,
+			StoreOptions: durOpts,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		opts = append(opts, rc.WithStore(f.Store()), rc.WithReplicator(f))
 	case *dataDir != "":
 		policy, err := rc.ParseFsyncPolicy(*fsyncStr)
 		if err != nil {
@@ -93,11 +137,19 @@ func runServe(argv []string) error {
 			return err
 		}
 		defer func() { _ = st.Close() }()
+		if epoch, leader, exists := st.EpochRecord(); exists && !leader {
+			// A follower data dir started without -replicate-from would
+			// silently accept writes on a stale epoch — exactly the fork
+			// the epoch record exists to prevent.
+			return fmt.Errorf("data dir %s is a replication follower at epoch %d; "+
+				"start it with -replicate-from, or promote it first (anonymizer promote)",
+				*dataDir, epoch)
+		}
 		rec := st.Recovery()
 		fmt.Printf("durable store %s (fsync=%s): recovered %d registrations, "+
-			"%d trust updates, %d deregistrations, %d expired",
+			"%d trust updates, %d deregistrations, %d renewals, %d expired",
 			*dataDir, policy, rec.Registrations, rec.TrustUpdates,
-			rec.Deregistrations, rec.Expired)
+			rec.Deregistrations, rec.Renewals, rec.Expired)
 		if rec.TruncatedBytes > 0 {
 			fmt.Printf(" (dropped %d torn tail bytes)", rec.TruncatedBytes)
 		}
@@ -127,8 +179,12 @@ func runServe(argv []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("anonymizer server on %s (map %s: %d junctions, %d segments, %d cars)\n",
-		bound, *preset, g.NumJunctions(), g.NumSegments(), *cars)
+	role := ""
+	if *replicateFrom != "" {
+		role = fmt.Sprintf(" [follower of %s]", *replicateFrom)
+	}
+	fmt.Printf("anonymizer server on %s%s (map %s: %d junctions, %d segments, %d cars)\n",
+		bound, role, *preset, g.NumJunctions(), g.NumSegments(), *cars)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -55,16 +55,23 @@ type archiveRecord struct {
 	Type string `json:"type"`
 	// Header payload: the format version, the data directory's shard
 	// count, and the ID-allocator position at backup time (informational;
-	// recovery re-derives it from the shard files).
-	Version int    `json:"version,omitempty"`
-	Shards  int    `json:"shards,omitempty"`
-	NextID  uint64 `json:"next_id,omitempty"`
+	// recovery re-derives it from the shard files). Since marks an
+	// incremental archive: the per-shard stream watermark the delta
+	// starts after. Full archives carry no Since; restore refuses to
+	// seed a directory from a delta.
+	Version int      `json:"version,omitempty"`
+	Shards  int      `json:"shards,omitempty"`
+	NextID  uint64   `json:"next_id,omitempty"`
+	Since   []uint64 `json:"since,omitempty"`
 	// File payload: the file's base name, byte count, and CRC-32C over its
 	// whole content (the frame CRC covers each chunk; the file CRC catches
-	// missing or reordered chunks).
+	// missing or reordered chunks). Seq is the shard's stream offset as of
+	// this file's copy — per-shard watermarks ride here, so a full
+	// backup's watermark can be read back out of the archive itself.
 	Name string `json:"name,omitempty"`
 	Size int64  `json:"size"`
 	CRC  uint32 `json:"crc"`
+	Seq  uint64 `json:"seq,omitempty"`
 	// Data payload: one content chunk (base64 on the wire via encoding/json).
 	Data []byte `json:"data,omitempty"`
 	// End payload: the number of files the archive carries.
@@ -76,8 +83,8 @@ type archiveRecord struct {
 // checksums by the time a callback fires; CloseFile fires only after the
 // current file's size and CRC both checked out.
 type archiveSink interface {
-	Header(shards int, nextID uint64) error
-	File(name string) error
+	Header(shards int, nextID uint64, since []uint64) error
+	File(name string, seq uint64) error
 	Data(chunk []byte) error
 	CloseFile() error
 	End(files int) error
@@ -118,16 +125,21 @@ func (a *archiveWriter) record(rec *archiveRecord) {
 	}
 }
 
-// header writes the leading archive record.
-func (a *archiveWriter) header(shards int, nextID uint64) {
-	a.record(&archiveRecord{Type: arcHeader, Version: archiveVersion, Shards: shards, NextID: nextID})
+// header writes the leading archive record. A non-nil since marks the
+// archive as an incremental delta starting after that watermark.
+func (a *archiveWriter) header(shards int, nextID uint64, since []uint64) {
+	a.record(&archiveRecord{
+		Type: arcHeader, Version: archiveVersion, Shards: shards,
+		NextID: nextID, Since: since,
+	})
 }
 
-// file writes one complete file as a file record plus data chunks.
-func (a *archiveWriter) file(name string, content []byte) {
+// file writes one complete file as a file record plus data chunks; seq
+// is the owning shard's stream offset at copy time (0 for META).
+func (a *archiveWriter) file(name string, seq uint64, content []byte) {
 	a.record(&archiveRecord{
 		Type: arcFile, Name: name, Size: int64(len(content)),
-		CRC: crc32.Checksum(content, castagnoli),
+		CRC: crc32.Checksum(content, castagnoli), Seq: seq,
 	})
 	for len(content) > 0 && a.err == nil {
 		n := len(content)
@@ -212,7 +224,11 @@ func readArchive(r io.Reader, sink archiveSink) error {
 			if rec.Shards < 1 || rec.Shards&(rec.Shards-1) != 0 {
 				return badArchive("shard count %d is not a positive power of two", rec.Shards)
 			}
-			return sink.Header(rec.Shards, rec.NextID)
+			if rec.Since != nil && len(rec.Since) != rec.Shards {
+				return badArchive("since watermark of %d elements for %d shards",
+					len(rec.Since), rec.Shards)
+			}
+			return sink.Header(rec.Shards, rec.NextID, rec.Since)
 		case arcFile:
 			if !sawHeader {
 				return badArchive("file record before header")
@@ -230,7 +246,7 @@ func readArchive(r io.Reader, sink archiveSink) error {
 			}
 			inFile, fileSize, fileGot, fileCRC, crc = true, rec.Size, 0, rec.CRC, 0
 			files++
-			return sink.File(rec.Name)
+			return sink.File(rec.Name, rec.Seq)
 		case arcData:
 			if !inFile {
 				return badArchive("data record outside a file")

@@ -1,6 +1,8 @@
 package anonymizer
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -50,17 +52,18 @@ func (s *DurableStore) WriteBackup(w io.Writer) (int64, error) {
 	}
 	cw := &countWriter{w: w}
 	aw := newArchiveWriter(cw)
-	aw.header(len(s.shards), s.nextID.Load())
+	aw.header(len(s.shards), s.nextID.Load(), nil)
 	meta, err := encodeMeta(len(s.shards))
 	if err != nil {
 		return cw.n, err
 	}
-	aw.file(metaFile, meta)
+	aw.file(metaFile, 0, meta)
 	for _, sh := range s.shards {
 		if aw.err != nil {
 			break
 		}
 		sh.mu.RLock()
+		seq := sh.streamSeq
 		snap, serr := os.ReadFile(sh.snapPath)
 		var wal []byte
 		var werr error
@@ -74,8 +77,11 @@ func (s *DurableStore) WriteBackup(w io.Writer) (int64, error) {
 		if werr != nil {
 			return cw.n, fmt.Errorf("anonymizer: backup wal read: %w", werr)
 		}
-		aw.file(filepath.Base(sh.snapPath), snap)
-		aw.file(filepath.Base(sh.walPath), wal)
+		// Each shard file record carries the shard's stream offset at copy
+		// time, so the archive's watermark — the position an incremental
+		// backup can continue from — is readable from the archive itself.
+		aw.file(filepath.Base(sh.snapPath), seq, snap)
+		aw.file(filepath.Base(sh.walPath), seq, wal)
 	}
 	return cw.n, aw.finish()
 }
@@ -110,29 +116,389 @@ func BackupDir(w io.Writer, dir string) (int64, error) {
 	}
 	cw := &countWriter{w: w}
 	aw := newArchiveWriter(cw)
-	aw.header(shards, 0)
+	aw.header(shards, 0, nil)
 	meta, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return cw.n, fmt.Errorf("anonymizer: backup meta read: %w", err)
 	}
-	aw.file(metaFile, meta)
+	aw.file(metaFile, 0, meta)
 	for i := 0; i < shards; i++ {
-		for _, name := range []string{shardSnapName(i), shardWALName(i)} {
-			if aw.err != nil {
-				break
-			}
-			content, err := os.ReadFile(filepath.Join(dir, name))
+		var snap, wal []byte
+		for _, p := range []struct {
+			name string
+			dst  *[]byte
+		}{{shardSnapName(i), &snap}, {shardWALName(i), &wal}} {
+			content, err := os.ReadFile(filepath.Join(dir, p.name))
 			if errors.Is(err, os.ErrNotExist) {
 				continue // a never-compacted shard has no snapshot yet
 			}
 			if err != nil {
 				return cw.n, fmt.Errorf("anonymizer: backup read: %w", err)
 			}
-			aw.file(name, content)
+			*p.dst = content
+		}
+		seq, err := shardStreamEnd(snap, wal)
+		if err != nil {
+			return cw.n, fmt.Errorf("anonymizer: backup shard %d: %w", i, err)
+		}
+		if snap != nil {
+			aw.file(shardSnapName(i), seq, snap)
+		}
+		if wal != nil {
+			aw.file(shardWALName(i), seq, wal)
+		}
+		if aw.err != nil {
+			break
 		}
 	}
 	return cw.n, aw.finish()
 }
+
+// shardStreamEnd derives a shard's stream position from its raw snapshot
+// and WAL bytes: the snapshot header's StreamSeq plus the WAL records
+// after it, numbered exactly the way recovery numbers them. A torn WAL
+// tail is tolerated (the intact prefix determines the position).
+func shardStreamEnd(snap, wal []byte) (uint64, error) {
+	var seq uint64
+	if len(snap) > 0 {
+		_, err := readRecords(bytes.NewReader(snap), func(rec *walRecord) error {
+			if rec.Type == recSnapHeader {
+				seq = rec.StreamSeq
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if len(wal) > 0 {
+		_, err := readRecords(bytes.NewReader(wal), func(rec *walRecord) error {
+			seq = nextStreamSeq(seq, rec.Seq)
+			return nil
+		})
+		if err != nil && !errors.Is(err, errTornTail) {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// --- Incremental backup -------------------------------------------------
+//
+// An incremental backup is the stream abstraction applied to backup: the
+// archive carries, per shard, only the mutation records after a
+// watermark taken from an earlier (full or incremental) backup. Shipping
+// one is exactly shipping the replication stream to a file — the delta
+// files hold the same CRC-framed record bytes TailFrom serves to
+// followers, and ApplyIncremental feeds them through the same
+// IngestFrame pipeline a follower uses.
+
+// shardDeltaName returns shard i's delta file name inside an incremental
+// archive.
+func shardDeltaName(i int) string { return fmt.Sprintf("shard-%04d.delta", i) }
+
+// deltaFileName matches incremental archive entries, capturing the shard
+// index.
+var deltaFileName = regexp.MustCompile(`^shard-([0-9]{4,})\.delta$`)
+
+// IncrementalStats describes what an incremental backup or apply moved.
+type IncrementalStats struct {
+	// Shards is the store's shard count.
+	Shards int
+	// Frames is the number of stream records the delta carries.
+	Frames int
+	// Applied is the number of records ApplyIncremental applied (frames
+	// the directory already held are skipped as duplicates).
+	Applied int
+	// Since is the watermark the delta starts after; End is the position
+	// it reaches.
+	Since, End Watermark
+}
+
+// WriteIncrementalBackup streams the store's mutation records after
+// since — the watermark of an earlier backup — to w as one incremental
+// archive, and returns the bytes written plus the delta's coverage. The
+// store stays live and is NOT quiesced (a compaction here would fold the
+// very records being shipped into a snapshot); each shard's tail is read
+// under its lock via the same TailFrom path replication uses. A
+// watermark older than a shard's last compaction reports ErrStreamGap:
+// the records are no longer individually addressable and the caller must
+// take a full backup instead.
+func (s *DurableStore) WriteIncrementalBackup(w io.Writer, since Watermark) (int64, *IncrementalStats, error) {
+	if s.closed.Load() {
+		return 0, nil, ErrStoreClosed
+	}
+	if len(since) != len(s.shards) {
+		return 0, nil, fmt.Errorf("%w: watermark of %d elements for %d shards",
+			ErrBadOp, len(since), len(s.shards))
+	}
+	stats := &IncrementalStats{Shards: len(s.shards), Since: since.Clone(), End: make(Watermark, len(s.shards))}
+	cw := &countWriter{w: w}
+	aw := newArchiveWriter(cw)
+	aw.header(len(s.shards), s.nextID.Load(), since.Clone())
+	var buf []byte
+	for i := range s.shards {
+		if aw.err != nil {
+			break
+		}
+		frames, end, err := s.TailFrom(i, since[i], 0)
+		if err != nil {
+			return cw.n, nil, err
+		}
+		var delta bytes.Buffer
+		for _, f := range frames {
+			if buf, err = appendFrame(buf, f.Rec); err != nil {
+				return cw.n, nil, err
+			}
+			delta.Write(buf)
+		}
+		stats.Frames += len(frames)
+		stats.End[i] = end
+		aw.file(shardDeltaName(i), end, delta.Bytes())
+	}
+	return cw.n, stats, aw.finish()
+}
+
+// IncrementalBackupDir is WriteIncrementalBackup for a closed data
+// directory: it scans each shard's files read-only and ships the records
+// after since. The directory must not be open in a live store.
+func IncrementalBackupDir(w io.Writer, dir string, since Watermark) (int64, *IncrementalStats, error) {
+	shards, err := readMeta(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil, fmt.Errorf("anonymizer: %s is not a durable data directory (no %s)", dir, metaFile)
+		}
+		return 0, nil, err
+	}
+	if len(since) != shards {
+		return 0, nil, fmt.Errorf("%w: watermark of %d elements for %d shards",
+			ErrBadOp, len(since), shards)
+	}
+	stats := &IncrementalStats{Shards: shards, Since: since.Clone(), End: make(Watermark, shards)}
+	cw := &countWriter{w: w}
+	aw := newArchiveWriter(cw)
+	aw.header(shards, 0, since.Clone())
+	var buf []byte
+	for i := 0; i < shards; i++ {
+		if aw.err != nil {
+			break
+		}
+		snap, err := os.ReadFile(filepath.Join(dir, shardSnapName(i)))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return cw.n, nil, fmt.Errorf("anonymizer: incremental backup read: %w", err)
+		}
+		wal, err := os.ReadFile(filepath.Join(dir, shardWALName(i)))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return cw.n, nil, fmt.Errorf("anonymizer: incremental backup read: %w", err)
+		}
+		var snapSeq uint64
+		if len(snap) > 0 {
+			if _, err := readRecords(bytes.NewReader(snap), func(rec *walRecord) error {
+				if rec.Type == recSnapHeader {
+					snapSeq = rec.StreamSeq
+				}
+				return nil
+			}); err != nil {
+				return cw.n, nil, err
+			}
+		}
+		if since[i] < snapSeq {
+			return cw.n, nil, fmt.Errorf("%w: shard %d offset %d, oldest streamable %d — take a full backup",
+				ErrStreamGap, i, since[i], snapSeq)
+		}
+		var delta bytes.Buffer
+		seq := snapSeq
+		frames := 0
+		_, err = readFrames(bytes.NewReader(wal), func(payload []byte) error {
+			var hdr struct {
+				Seq uint64 `json:"seq"`
+			}
+			if jerr := json.Unmarshal(payload, &hdr); jerr != nil {
+				return fmt.Errorf("%w: %v", ErrCorruptLog, jerr)
+			}
+			seq = nextStreamSeq(seq, hdr.Seq)
+			if seq <= since[i] {
+				return nil
+			}
+			if buf, err = appendFrame(buf, payload); err != nil {
+				return err
+			}
+			delta.Write(buf)
+			frames++
+			return nil
+		})
+		if err != nil && !errors.Is(err, errTornTail) {
+			return cw.n, nil, err
+		}
+		stats.Frames += frames
+		stats.End[i] = seq
+		aw.file(shardDeltaName(i), seq, delta.Bytes())
+	}
+	return cw.n, stats, aw.finish()
+}
+
+// incrementalSink feeds a delta archive into an open store.
+type incrementalSink struct {
+	st    *DurableStore
+	since Watermark
+	shard int
+	buf   bytes.Buffer
+	stats *IncrementalStats
+}
+
+// Header implements archiveSink.
+func (a *incrementalSink) Header(shards int, _ uint64, since []uint64) error {
+	if since == nil {
+		return badArchive("not an incremental archive (no since watermark); use restore for full archives")
+	}
+	if shards != a.st.ShardCount() {
+		return badArchive("archive spans %d shards, directory has %d", shards, a.st.ShardCount())
+	}
+	a.since = since
+	a.stats.Shards = shards
+	a.stats.Since = Watermark(since).Clone()
+	a.stats.End = a.st.Watermark()
+	return nil
+}
+
+// File implements archiveSink.
+func (a *incrementalSink) File(name string, _ uint64) error {
+	m := deltaFileName.FindStringSubmatch(name)
+	if m == nil {
+		return badArchive("%q is not an incremental-archive file", name)
+	}
+	idx, err := strconv.Atoi(m[1])
+	if err != nil || idx >= a.st.ShardCount() {
+		return badArchive("%q is outside the archive's %d shards", name, a.st.ShardCount())
+	}
+	a.shard = idx
+	a.buf.Reset()
+	return nil
+}
+
+// Data implements archiveSink.
+func (a *incrementalSink) Data(chunk []byte) error {
+	a.buf.Write(chunk)
+	return nil
+}
+
+// CloseFile implements archiveSink: the shard's delta is complete and
+// checksum-verified; ingest it through the shared stream pipeline.
+func (a *incrementalSink) CloseFile() error {
+	seq := a.since[a.shard]
+	have := a.stats.End[a.shard]
+	_, err := readFrames(bytes.NewReader(a.buf.Bytes()), func(payload []byte) error {
+		var hdr struct {
+			Seq uint64 `json:"seq"`
+		}
+		if jerr := json.Unmarshal(payload, &hdr); jerr != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptLog, jerr)
+		}
+		seq = nextStreamSeq(seq, hdr.Seq)
+		a.stats.Frames++
+		if seq <= have {
+			return nil // the directory already holds this record
+		}
+		applied, err := a.st.IngestFrame(StreamFrame{
+			Shard: a.shard, Seq: seq, Rec: json.RawMessage(payload),
+		})
+		if err != nil {
+			return err
+		}
+		if applied {
+			a.stats.Applied++
+		}
+		if seq > a.stats.End[a.shard] {
+			a.stats.End[a.shard] = seq
+		}
+		return nil
+	})
+	if errors.Is(err, errTornTail) {
+		return badArchive("torn delta for shard %d", a.shard)
+	}
+	return err
+}
+
+// End implements archiveSink.
+func (a *incrementalSink) End(int) error { return nil }
+
+// ApplyIncremental extends a closed data directory with an incremental
+// archive: every delta record lands through the same journal+apply
+// pipeline (IngestFrame) a replication follower uses, so a full restore
+// plus its incrementals reproduces the source exactly. The archive's
+// since watermark must not lie ahead of the directory's position (the
+// stream would have a hole); records the directory already holds are
+// skipped, so overlapping deltas are safe to apply in order.
+//
+// The store is opened as a replica for the duration of the apply: like
+// a follower, the apply must be expiry-passive — a registration whose
+// TTL looks elapsed NOW may be renewed by a touch record later in this
+// very delta, so neither the open-time sweep nor a mid-apply compaction
+// may reclaim it. The next normal (leader) open performs the sweep.
+func ApplyIncremental(r io.Reader, dir string, opts ...DurabilityOption) (*IncrementalStats, error) {
+	st, err := OpenDurableStore(dir,
+		append(append([]DurabilityOption{}, opts...), WithReplica())...)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = st.Close() }()
+	sink := &incrementalSink{st: st, stats: &IncrementalStats{}}
+	if err := readArchive(r, sink); err != nil {
+		return nil, err
+	}
+	have := st.Watermark()
+	for i, s := range sink.since {
+		if s > have[i] {
+			return nil, fmt.Errorf("%w: archive starts after shard %d offset %d, directory is at %d",
+				ErrStreamGap, i, s, have[i])
+		}
+	}
+	if err := st.Sync(); err != nil {
+		return nil, err
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	return sink.stats, nil
+}
+
+// ArchiveWatermark reads an archive (full or incremental) just far
+// enough to report the stream watermark it reaches — the position a
+// later `backup -since` continues from. The whole archive is scanned and
+// checksum-verified in the process.
+func ArchiveWatermark(r io.Reader) (Watermark, error) {
+	sink := &watermarkSink{}
+	if err := readArchive(r, sink); err != nil {
+		return nil, err
+	}
+	return sink.wm, nil
+}
+
+// watermarkSink extracts per-shard stream offsets from file records.
+type watermarkSink struct {
+	wm Watermark
+}
+
+func (s *watermarkSink) Header(shards int, _ uint64, _ []uint64) error {
+	s.wm = make(Watermark, shards)
+	return nil
+}
+
+func (s *watermarkSink) File(name string, seq uint64) error {
+	for _, re := range []*regexp.Regexp{storeFileName, deltaFileName} {
+		if m := re.FindStringSubmatch(name); m != nil {
+			if idx, err := strconv.Atoi(m[1]); err == nil && idx < len(s.wm) && seq > s.wm[idx] {
+				s.wm[idx] = seq
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *watermarkSink) Data([]byte) error { return nil }
+func (s *watermarkSink) CloseFile() error  { return nil }
+func (s *watermarkSink) End(int) error     { return nil }
 
 // shardWALName returns shard i's WAL file name.
 func shardWALName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
@@ -156,8 +522,12 @@ type restoreSink struct {
 	metaSeen bool
 }
 
-// Header implements archiveSink.
-func (r *restoreSink) Header(shards int, _ uint64) error {
+// Header implements archiveSink. Incremental archives are refused: a
+// delta cannot seed a directory, only extend one (ApplyIncremental).
+func (r *restoreSink) Header(shards int, _ uint64, since []uint64) error {
+	if since != nil {
+		return badArchive("incremental archive; apply it to an existing directory with restore -apply")
+	}
 	r.shards = shards
 	return nil
 }
@@ -167,7 +537,7 @@ func (r *restoreSink) Header(shards int, _ uint64) error {
 // The shard index must lie inside the header's shard count: a file the
 // restored store would never read is worse than a stray — it is key
 // material sitting invisibly in the data dir.
-func (r *restoreSink) File(name string) error {
+func (r *restoreSink) File(name string, _ uint64) error {
 	if name != metaFile {
 		m := storeFileName.FindStringSubmatch(name)
 		if m == nil {

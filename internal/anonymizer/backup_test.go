@@ -117,13 +117,13 @@ func TestRestoreRejectsForeignFileNames(t *testing.T) {
 		"shard-0001.wal", "shard-0009.snap", "shard-123.wal"} {
 		var buf bytes.Buffer
 		aw := newArchiveWriter(&buf)
-		aw.header(1, 0)
+		aw.header(1, 0, nil)
 		meta, err := encodeMeta(1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		aw.file(metaFile, meta)
-		aw.file(name, []byte("payload"))
+		aw.file(metaFile, 0, meta)
+		aw.file(name, 0, []byte("payload"))
 		if err := aw.finish(); err != nil {
 			t.Fatal(err)
 		}

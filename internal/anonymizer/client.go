@@ -31,6 +31,26 @@ type call struct {
 	done chan struct{}
 }
 
+// ClientOption customizes a Client.
+type ClientOption func(*clientConfig)
+
+// clientConfig collects the client tunables.
+type clientConfig struct {
+	followLeader bool
+}
+
+// WithLeaderRouting makes the client follower-aware: a write refused by
+// a replication follower (the response carries the leader's address) is
+// transparently retried against the leader, over a second connection the
+// client dials and caches on first use. Reads keep going to the
+// originally dialed address — dial a follower with routing enabled and
+// you get local reads with writes forwarded to the leader. The refused
+// request had no effect on the follower, so the retry never duplicates
+// work.
+func WithLeaderRouting() ClientOption {
+	return func(c *clientConfig) { c.followLeader = true }
+}
+
 // Client talks to a Server over one connection. It is safe for concurrent
 // use, and concurrent calls are pipelined: each caller sends without
 // waiting for earlier responses, and a single receive loop matches the
@@ -38,6 +58,7 @@ type call struct {
 // at a time behaves exactly like the old lock-step client.
 type Client struct {
 	conn net.Conn
+	cfg  clientConfig
 
 	sendMu sync.Mutex // serializes enqueue + encode so wire order == queue order
 	enc    *json.Encoder
@@ -45,6 +66,11 @@ type Client struct {
 	// pending carries calls to the receive loop in wire order; its capacity
 	// bounds the pipelining window.
 	pending chan *call
+
+	// leaderMu guards the lazily dialed leader connection used by
+	// WithLeaderRouting.
+	leaderMu sync.Mutex
+	leader   *Client
 
 	// stop is closed (once) when the client breaks or closes; err is set
 	// before the close and may be read after observing it.
@@ -57,13 +83,18 @@ type Client struct {
 const maxPipelined = 256
 
 // Dial connects to a server address.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("anonymizer: dial %s: %w", addr, err)
 	}
 	c := &Client{
 		conn:    conn,
+		cfg:     cfg,
 		enc:     json.NewEncoder(conn),
 		pending: make(chan *call, maxPipelined),
 		stop:    make(chan struct{}),
@@ -112,10 +143,17 @@ func (c *Client) fail(err error) {
 	})
 }
 
-// Close closes the connection. In-flight calls fail with ErrClientClosed
-// unless their response already arrived.
+// Close closes the connection (and the cached leader connection, if
+// routing dialed one). In-flight calls fail with ErrClientClosed unless
+// their response already arrived.
 func (c *Client) Close() error {
 	c.fail(ErrClientClosed)
+	c.leaderMu.Lock()
+	if c.leader != nil {
+		_ = c.leader.Close()
+		c.leader = nil
+	}
+	c.leaderMu.Unlock()
 	return nil
 }
 
@@ -145,7 +183,9 @@ func (c *Client) send(req *Request) (*call, error) {
 	return cl, nil
 }
 
-// roundTrip sends one request and waits for its response.
+// roundTrip sends one request and waits for its response. With leader
+// routing enabled, a write the server refused as a follower is retried
+// once against the advertised leader.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	cl, err := c.send(req)
 	if err != nil {
@@ -166,9 +206,42 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, cl.err
 	}
 	if !cl.resp.OK {
+		if c.cfg.followLeader && cl.resp.Leader != "" {
+			return c.viaLeader(req, cl.resp.Leader)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrRemote, cl.resp.Error)
 	}
 	return cl.resp, nil
+}
+
+// viaLeader re-issues a follower-refused request against the leader,
+// dialing (and caching) the leader connection on first use. The cached
+// connection does not itself route, so a redirect loop is impossible.
+func (c *Client) viaLeader(req *Request, addr string) (*Response, error) {
+	c.leaderMu.Lock()
+	leader := c.leader
+	if leader == nil {
+		var err error
+		leader, err = Dial(addr)
+		if err != nil {
+			c.leaderMu.Unlock()
+			return nil, fmt.Errorf("anonymizer: routing to leader: %w", err)
+		}
+		c.leader = leader
+	}
+	c.leaderMu.Unlock()
+	resp, err := leader.roundTrip(req)
+	if err != nil && !errors.Is(err, ErrRemote) {
+		// The cached leader connection broke (failover in progress, old
+		// leader gone): drop it so the next write re-resolves.
+		c.leaderMu.Lock()
+		if c.leader == leader {
+			_ = leader.Close()
+			c.leader = nil
+		}
+		c.leaderMu.Unlock()
+	}
+	return resp, err
 }
 
 // Ping checks server liveness.
@@ -418,6 +491,134 @@ func (c *Client) Backup(w io.Writer) (int64, error) {
 		return int64(n), fmt.Errorf("anonymizer: writing backup: %w", err)
 	}
 	return int64(n), nil
+}
+
+// Touch renews a live registration's lease (owner-side): the expiry
+// becomes ttl from now (0 selects the server's default TTL; with no
+// default either, the bound is cleared). It returns the new expiry
+// instant (zero when the bound was cleared). Mobile clients re-reporting
+// their location call this instead of re-registering.
+func (c *Client) Touch(regionID string, ttl time.Duration) (time.Time, error) {
+	resp, err := c.roundTrip(&Request{
+		Op:        OpTouch,
+		RegionID:  regionID,
+		TTLMillis: ttlMillis(ttl),
+	})
+	if err != nil {
+		return time.Time{}, err
+	}
+	if resp.ExpiresAtMillis == 0 {
+		return time.Time{}, nil
+	}
+	return time.UnixMilli(resp.ExpiresAtMillis).UTC(), nil
+}
+
+// BackupSince fetches an incremental backup: only the mutation-stream
+// records after since (the watermark of an earlier backup), as an archive
+// for `anonymizer restore -apply` / ApplyIncremental. A watermark older
+// than the server's last compaction is refused (ErrRemote wrapping a
+// stream gap): take a full backup instead.
+func (c *Client) BackupSince(w io.Writer, since Watermark) (int64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpBackup, Since: since.String()})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Archive) == 0 {
+		return 0, fmt.Errorf("%w: response without archive", ErrRemote)
+	}
+	n, err := w.Write(resp.Archive)
+	if err != nil {
+		return int64(n), fmt.Errorf("anonymizer: writing backup: %w", err)
+	}
+	return int64(n), nil
+}
+
+// SubscribeInfo is the leader's half of the replication handshake.
+type SubscribeInfo struct {
+	// Epoch is the leader's replication epoch; later frame polls must
+	// present it.
+	Epoch uint64
+	// Shards is the leader store's shard count (the follower's must
+	// match).
+	Shards int
+	// Watermark is the leader's stream position at subscription.
+	Watermark Watermark
+}
+
+// ReplSubscribe performs the replication handshake: epoch is the
+// subscriber's last known leader epoch (0 for a fresh bootstrap),
+// wasLeader whether its data directory claims leadership of that epoch,
+// follower its advertised address, and wm its current position. A fenced
+// rejection (stale leader rejoining, or the polled node itself stale)
+// surfaces as ErrRemote.
+func (c *Client) ReplSubscribe(epoch uint64, wasLeader bool, follower string, wm Watermark) (*SubscribeInfo, error) {
+	resp, err := c.roundTrip(&Request{
+		Op:        OpReplSubscribe,
+		Epoch:     epoch,
+		WasLeader: wasLeader,
+		Follower:  follower,
+		Watermark: wm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Shards <= 0 || resp.Epoch == 0 {
+		return nil, fmt.Errorf("%w: malformed subscribe response", ErrRemote)
+	}
+	return &SubscribeInfo{
+		Epoch: resp.Epoch, Shards: resp.Shards, Watermark: resp.Watermark,
+	}, nil
+}
+
+// ReplFrames polls the leader's mutation stream for the records after
+// the follower's watermark (at most max; 0 = server default), returning
+// the frames and the leader's current position.
+func (c *Client) ReplFrames(epoch uint64, after Watermark, max int) ([]StreamFrame, Watermark, error) {
+	resp, err := c.roundTrip(&Request{
+		Op:        OpReplFrames,
+		Epoch:     epoch,
+		Watermark: after,
+		MaxFrames: max,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Frames, resp.Watermark, nil
+}
+
+// ReplAck reports the follower's durably applied watermark to the
+// leader's lag accounting.
+func (c *Client) ReplAck(epoch uint64, follower string, applied Watermark) error {
+	_, err := c.roundTrip(&Request{
+		Op:        OpReplAck,
+		Epoch:     epoch,
+		Follower:  follower,
+		Watermark: applied,
+	})
+	return err
+}
+
+// ReplStatus fetches the node's replication status document.
+func (c *Client) ReplStatus() (*ReplStatus, error) {
+	resp, err := c.roundTrip(&Request{Op: OpReplStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Repl == nil {
+		return nil, fmt.Errorf("%w: response without repl status", ErrRemote)
+	}
+	return resp.Repl, nil
+}
+
+// Promote promotes the connected follower to leader and returns its new
+// epoch. Issue it only once the old leader is confirmed dead: the bumped
+// epoch fences the old leader out, it does not stop a live one.
+func (c *Client) Promote() (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpReplPromote})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
 }
 
 // RequestKeys fetches the keys the requester is entitled to, decoded into

@@ -186,7 +186,7 @@ func conformanceTrial(t *testing.T, seed int64, shards int, reshardTo []int) {
 	requesters := []string{"alice", "bob", "carol", "doctor"}
 	for i := 0; i < ops; i++ {
 		id := ids[rng.Intn(len(ids))]
-		switch rng.Intn(6) {
+		switch rng.Intn(7) {
 		case 0, 1, 2:
 			reg, err := st.Lookup(id)
 			if err != nil {
@@ -205,6 +205,13 @@ func conformanceTrial(t *testing.T, seed int64, shards int, reshardTo []int) {
 			clk.Advance(time.Duration(1+rng.Intn(20)) * time.Second)
 		case 5:
 			if _, err := st.SweepExpired(); err != nil {
+				t.Fatal(err)
+			}
+		case 6:
+			// Lease renewal: short enough to lapse under later advances
+			// sometimes, long enough to survive them other times.
+			ttl := time.Duration(1+rng.Intn(120)) * time.Second
+			if _, err := st.Touch(id, ttl); err != nil && !errors.Is(err, ErrUnknownRegion) {
 				t.Fatal(err)
 			}
 		}

@@ -81,6 +81,7 @@ type durabilityConfig struct {
 	snapshotInterval time.Duration
 	ttl              time.Duration
 	gcInterval       time.Duration
+	replica          bool
 	now              func() time.Time
 }
 
@@ -169,9 +170,28 @@ func WithGCInterval(d time.Duration) DurabilityOption {
 	}
 }
 
+// WithReplica opens the store as a replication follower: local mutations
+// are refused with ErrNotLeader and the expiry sweeper stays off, because
+// every state change — expiries included — arrives through the leader's
+// mutation stream (IngestFrame). Promotion (SetReplica(false)) turns the
+// store back into a writable leader.
+func WithReplica() DurabilityOption {
+	return func(c *durabilityConfig) { c.replica = true }
+}
+
+// WithClock substitutes the store's wall clock (expiry evaluation, TTL
+// stamping). Intended for tests and deterministic harnesses.
+func WithClock(now func() time.Time) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if now != nil {
+			c.now = now
+		}
+	}
+}
+
 // withDurableClock substitutes the expiry clock (tests).
 func withDurableClock(now func() time.Time) DurabilityOption {
-	return func(c *durabilityConfig) { c.now = now }
+	return WithClock(now)
 }
 
 // RecoveryStats describes what OpenDurableStore found on disk.
@@ -182,6 +202,8 @@ type RecoveryStats struct {
 	TrustUpdates int
 	// Deregistrations is the number of deregister records replayed.
 	Deregistrations int
+	// Renewals is the number of touch (lease renewal) records replayed.
+	Renewals int
 	// Expired is the number of registrations dropped by expiry during
 	// recovery: journaled expire records that removed an entry, plus
 	// registrations whose TTL elapsed while the store was down (recovery
@@ -204,6 +226,15 @@ type durableShard struct {
 	walRecords int   // records since the last snapshot
 	dirty      bool  // appends not yet fsynced
 	buf        []byte
+
+	// streamSeq is the shard's stream position: the offset of the last
+	// mutation record appended to this shard's log, monotonic across
+	// snapshot compactions and restarts. snapSeq is the position the
+	// current snapshot covers: records at or below it live only in the
+	// snapshot, records above it are still in the WAL and servable to
+	// stream readers (TailFrom, incremental backup).
+	streamSeq uint64
+	snapSeq   uint64
 
 	// walEnd mirrors walSize for lock-free reads by the group-commit
 	// leader (it must not take the shard lock while electing a target).
@@ -232,6 +263,21 @@ type DurableStore struct {
 	stats  RecoveryStats
 
 	snapshots atomic.Int64 // compactions performed (observable in tests)
+
+	// replica marks the store as a replication follower: local mutations
+	// are refused with ErrNotLeader (state arrives only through
+	// IngestFrame) and the GC sweeper stays off — expiry still hides
+	// entries instantly, but expire records come from the leader's
+	// stream, so the follower's log never diverges from it. Promotion
+	// clears the flag.
+	replica atomic.Bool
+
+	// Epoch record (EPOCH.json): the leader/lease fencing state of this
+	// data directory. See Epoch/EpochRecord/SetEpoch in stream.go.
+	epochMu     sync.Mutex
+	epochVal    uint64
+	epochLeader bool
+	epochKnown  bool // EPOCH.json existed (or was written) for this dir
 
 	// The GC sweeper starts lazily, on the first registration (live or
 	// recovered) that can expire, so TTL-free stores never pay the
@@ -274,6 +320,10 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 		shards: make([]*durableShard, size),
 		mask:   uint32(size - 1),
 		stop:   make(chan struct{}),
+	}
+	s.replica.Store(cfg.replica)
+	if err := s.loadEpoch(); err != nil {
+		return nil, err
 	}
 	var maxID uint64
 	canExpire := false
@@ -439,6 +489,7 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 	defer func() {
 		s.stats.TrustUpdates += tally.TrustUpdates
 		s.stats.Deregistrations += tally.Deregistrations
+		s.stats.Renewals += tally.Renewals
 		s.stats.Expired += tally.Expired
 	}()
 
@@ -452,6 +503,9 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 				if rec.NextID > maxID {
 					maxID = rec.NextID
 				}
+				// The header pins the stream position the snapshot covers;
+				// WAL records continue the sequence from here.
+				sh.snapSeq = rec.StreamSeq
 				return nil
 			case recRegister:
 				return replay(rec)
@@ -475,6 +529,7 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 		return nil, 0, fmt.Errorf("anonymizer: opening wal: %w", err)
 	}
 	sh.wal = wal
+	seq := sh.snapSeq
 	intact, rerr := readRecords(wal, func(rec *walRecord) error {
 		// A register may legitimately duplicate a snapshot entry (crash
 		// between snapshot rename and WAL truncation), and mutations whose
@@ -484,6 +539,7 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 		if rec.Type == recSnapHeader {
 			return fmt.Errorf("%w: unexpected %q record in wal", ErrCorruptLog, rec.Type)
 		}
+		seq = nextStreamSeq(seq, rec.Seq)
 		if err := replay(rec); err != nil {
 			return err
 		}
@@ -513,6 +569,17 @@ func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
 	}
 	sh.walSize = intact
 	sh.walEnd.Store(intact)
+	sh.streamSeq = seq
+	// The stream has fully replayed; reclaim whatever is dead at the open
+	// instant in one sweep (replay itself is expiry-blind so that touch
+	// records can renew leases that lapsed mid-log). Replicas skip the
+	// sweep entirely: their stream has no end — a renewal frame for a
+	// "dead" entry may still be in flight from the leader, and dropping
+	// the entry locally would make that frame a silent no-op. Lazy expiry
+	// keeps dead entries invisible to reads either way.
+	if !s.cfg.replica {
+		s.stats.Expired += sh.tab.dropExpiredLocked(openNow)
+	}
 	return sh, maxID, nil
 }
 
@@ -533,17 +600,38 @@ func (s *DurableStore) shardFor(id string) *durableShard {
 	return s.shards[shardIndex(id, s.mask)]
 }
 
-// appendLocked journals one record to the shard's WAL under its lock. On
-// a partial write it rewinds the file to the last intact record so later
-// appends never extend a torn frame. Durability is the caller's business:
-// FsyncInterval marks the shard dirty for the background syncer, and
-// FsyncAlways callers wait on the group commit after releasing the lock.
+// appendLocked journals one record to the shard's WAL under its lock,
+// stamping it with the next stream offset. On a partial write it rewinds
+// the file to the last intact record so later appends never extend a torn
+// frame. Durability is the caller's business: FsyncInterval marks the
+// shard dirty for the background syncer, and FsyncAlways callers wait on
+// the group commit after releasing the lock.
 func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
+	rec.Seq = sh.streamSeq + 1
 	frame, err := appendRecord(sh.buf, rec)
 	if err != nil {
 		return err
 	}
 	sh.buf = frame
+	return s.writeFrameLocked(sh, frame, rec.Seq)
+}
+
+// appendRawLocked journals a pre-encoded record payload (the leader's
+// exact bytes) at the given stream offset — the follower half of log
+// shipping: replicated shards stay byte-identical to the leader's stream,
+// CRC frames included, because the payload is never re-marshaled.
+func (s *DurableStore) appendRawLocked(sh *durableShard, payload []byte, seq uint64) error {
+	frame, err := appendFrame(sh.buf, payload)
+	if err != nil {
+		return err
+	}
+	sh.buf = frame
+	return s.writeFrameLocked(sh, frame, seq)
+}
+
+// writeFrameLocked writes one framed record and advances the shard's
+// bookkeeping (size, dirtiness, stream position).
+func (s *DurableStore) writeFrameLocked(sh *durableShard, frame []byte, seq uint64) error {
 	if _, err := sh.wal.Write(frame); err != nil {
 		_ = sh.wal.Truncate(sh.walSize)
 		_, _ = sh.wal.Seek(sh.walSize, io.SeekStart)
@@ -553,6 +641,7 @@ func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
 	sh.walSize += int64(len(frame))
 	sh.walEnd.Store(sh.walSize)
 	sh.walRecords++
+	sh.streamSeq = seq
 	return nil
 }
 
@@ -569,6 +658,9 @@ func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
 // and a subsequent successful sync or snapshot re-converges disk with
 // memory.
 func (s *DurableStore) mutate(m *Mutation) error {
+	if s.replica.Load() {
+		return ErrNotLeader
+	}
 	now := s.cfg.now().UnixNano()
 	sh := s.shardFor(m.ID)
 	sh.mu.Lock()
@@ -656,6 +748,35 @@ func (s *DurableStore) Deregister(id string) error {
 	return s.mutate(&Mutation{Op: MutDeregister, ID: id})
 }
 
+// Touch implements Store: it renews a live registration's lease to
+// ttl from now (ttl <= 0 selects the store's default TTL; with no
+// default either, the expiry bound is cleared). The renewal is journaled
+// as a touch mutation through the same pipeline as every other
+// lifecycle change, so recovery and replication replay it identically.
+func (s *DurableStore) Touch(id string, ttl time.Duration) (time.Time, error) {
+	if s.closed.Load() {
+		return time.Time{}, ErrStoreClosed
+	}
+	if id == "" {
+		return time.Time{}, fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	if ttl <= 0 {
+		ttl = s.cfg.ttl
+	}
+	var expiresAt int64
+	if ttl > 0 {
+		expiresAt = s.cfg.now().Add(ttl).UnixNano()
+	}
+	if err := s.mutate(&Mutation{Op: MutTouch, ID: id, ExpiresAt: expiresAt}); err != nil {
+		return time.Time{}, err
+	}
+	if expiresAt == 0 {
+		return time.Time{}, nil
+	}
+	s.ensureSweeper()
+	return time.Unix(0, expiresAt).UTC(), nil
+}
+
 // Len implements Store.
 func (s *DurableStore) Len() int {
 	n := 0
@@ -675,6 +796,11 @@ func (s *DurableStore) Len() int {
 func (s *DurableStore) SweepExpired() (int, error) {
 	if s.closed.Load() {
 		return 0, ErrStoreClosed
+	}
+	if s.replica.Load() {
+		// Followers never originate expire records; the leader's sweeper
+		// ships them through the stream.
+		return 0, nil
 	}
 	now := s.cfg.now().UnixNano()
 	n := 0
@@ -705,9 +831,10 @@ func (s *DurableStore) SweepExpired() (int, error) {
 }
 
 // ensureSweeper starts the background GC loop once, on the first
-// registration (live or recovered) that can expire.
+// registration (live or recovered) that can expire. Replicas never
+// sweep: their expire records arrive through the leader's stream.
 func (s *DurableStore) ensureSweeper() {
-	if s.cfg.gcInterval <= 0 {
+	if s.cfg.gcInterval <= 0 || s.replica.Load() {
 		return
 	}
 	s.gcMu.Lock()
@@ -758,12 +885,18 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 		_, err = f.Write(frame)
 		return err
 	}
-	err = write(&walRecord{Type: recSnapHeader, NextID: s.nextID.Load()})
+	// Compaction is a reclamation point on a leader — expired entries are
+	// excluded from the snapshot and dropped from memory below. A replica
+	// must NOT reclaim: expiry is the leader's call (a renewal frame may
+	// be in flight for an entry whose TTL looks elapsed here), so replica
+	// snapshots carry every entry verbatim.
+	replica := s.replica.Load()
+	err = write(&walRecord{Type: recSnapHeader, NextID: s.nextID.Load(), StreamSeq: sh.streamSeq})
 	for id, reg := range sh.tab.regs {
 		if err != nil {
 			break
 		}
-		if reg.expiredAt(now) {
+		if !replica && reg.expiredAt(now) {
 			continue
 		}
 		err = write(registerRecord(id, reg))
@@ -808,14 +941,14 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 	sh.walRecords = 0
 	sh.walEnd.Store(0)
 	sh.dirty = false
+	sh.snapSeq = sh.streamSeq
 	sh.gc.noteTruncate()
 	// The durable image no longer contains the expired entries skipped
 	// above; drop them from memory too (no expire record needed — there
-	// is nothing on disk left to cancel).
-	for id, reg := range sh.tab.regs {
-		if reg.expiredAt(now) {
-			delete(sh.tab.regs, id)
-		}
+	// is nothing on disk left to cancel). Replicas kept them in the
+	// snapshot and keep them in memory.
+	if !replica {
+		sh.tab.dropExpiredLocked(now)
 	}
 	s.snapshots.Add(1)
 	return nil

@@ -24,6 +24,12 @@ const (
 	// mutations are appended by the GC sweeper, never by clients, and are
 	// idempotent: expiring an already-removed registration is a no-op.
 	MutExpire
+	// MutTouch renews a registration's lease: it replaces the expiry
+	// instant of a live registration, so mobile clients that periodically
+	// re-report their location extend the registration they already hold
+	// instead of re-registering. The new instant rides in the mutation
+	// (journaled, replicated, replayed), never recomputed downstream.
+	MutTouch
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +43,8 @@ func (op MutationOp) String() string {
 		return "deregister"
 	case MutExpire:
 		return "expire"
+	case MutTouch:
+		return "touch"
 	default:
 		return fmt.Sprintf("MutationOp(%d)", uint8(op))
 	}
@@ -60,6 +68,9 @@ type Mutation struct {
 	// Requester and ToLevel carry the MutSetTrust payload.
 	Requester string
 	ToLevel   int
+	// ExpiresAt carries the MutTouch payload: the registration's new
+	// expiry instant in unix nanoseconds (0 clears the bound).
+	ExpiresAt int64
 }
 
 // applyMode selects live-path or replay-path semantics for apply.
@@ -71,41 +82,44 @@ const (
 	applyLive applyMode = iota
 	// applyReplay is lenient: recovery's job is to restore every
 	// consistent prefix, so mutations that no longer have a target (their
-	// registration was dropped by a snapshot race, expired while the
-	// store was down, ...) are skipped rather than fatal.
+	// registration was dropped by a snapshot race, deregistered in a later
+	// record, ...) are skipped rather than fatal. Replay is also
+	// expiry-blind: every journaled mutation was validated against a LIVE
+	// target when it was appended, so replay applies it unconditionally —
+	// evaluating TTLs mid-replay against the open instant would drop a
+	// registration whose lease a later touch record renews. Expired
+	// entries are reclaimed in one sweep after the stream ends
+	// (dropExpiredLocked), which makes replay commute with wall time.
 	applyReplay
 )
 
 // replayTally counts what a replayed mutation stream changed — the one
-// bookkeeping shared by crash recovery (RecoveryStats) and offline
-// resharding (ReshardStats), so the two can never drift on what counts
-// as what. A register that did not apply was dropped by expiry, counted
-// once per ID: after a crash between snapshot rename and WAL truncation
-// the same register record legitimately sits in both files.
+// bookkeeping shared by crash recovery (RecoveryStats), offline
+// resharding (ReshardStats) and the follower apply loop, so they can
+// never drift on what counts as what. Registrations whose TTL elapsed
+// while the store was down are not counted here: replay is expiry-blind,
+// and the end-of-stream sweep (dropExpiredLocked) reports them.
 type replayTally struct {
 	TrustUpdates    int
 	Deregistrations int
+	Renewals        int
 	Expired         int
-	expiredSeen     map[string]bool
 }
 
 // newReplayTally returns an empty tally.
 func newReplayTally() *replayTally {
-	return &replayTally{expiredSeen: make(map[string]bool)}
+	return &replayTally{}
 }
 
 // note records the outcome of one replayed mutation.
 func (t *replayTally) note(m *Mutation, applied bool) {
 	switch {
-	case m.Op == MutRegister && !applied:
-		if !t.expiredSeen[m.ID] {
-			t.expiredSeen[m.ID] = true
-			t.Expired++
-		}
 	case m.Op == MutSetTrust && applied:
 		t.TrustUpdates++
 	case m.Op == MutDeregister && applied:
 		t.Deregistrations++
+	case m.Op == MutTouch && applied:
+		t.Renewals++
 	case m.Op == MutExpire && applied:
 		t.Expired++
 	}
@@ -134,6 +148,14 @@ func (t regTable) lookup(id string, now int64) *Registration {
 	return reg
 }
 
+// lookupAny resolves an ID whether or not its TTL has elapsed — the
+// replay-path resolver: a journaled mutation's target was live when the
+// record was appended, so replay must find it even when the open instant
+// lies past an expiry a later touch record extends.
+func (t regTable) lookupAny(id string) *Registration {
+	return t.regs[id]
+}
+
 // check validates m's live-path preconditions against the table without
 // mutating anything. The durable store calls it before journaling so the
 // WAL never carries a record the live path would have rejected; apply
@@ -141,6 +163,11 @@ func (t regTable) lookup(id string, now int64) *Registration {
 func (t regTable) check(m *Mutation, now int64) error {
 	switch m.Op {
 	case MutRegister, MutExpire:
+		return nil
+	case MutTouch:
+		if t.lookup(m.ID, now) == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownRegion, m.ID)
+		}
 		return nil
 	case MutSetTrust:
 		reg := t.lookup(m.ID, now)
@@ -177,17 +204,18 @@ func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
 	}
 	switch m.Op {
 	case MutRegister:
-		if mode == applyReplay && m.Reg.expiredAt(now) {
-			// The TTL elapsed while the store was down: never resurrect a
-			// dead region. A snapshot duplicate already inserted is
-			// removed too, so the outcome is order-independent.
-			delete(t.regs, m.ID)
-			return false, nil
-		}
+		// Replay inserts unconditionally, expired or not: a later touch
+		// record may renew the lease, and the end-of-stream sweep reclaims
+		// whatever stays dead. A snapshot duplicate (crash between snapshot
+		// rename and WAL truncation) is simply overwritten with identical
+		// state, so the outcome is order-independent.
 		t.regs[m.ID] = m.Reg
 		return true, nil
 	case MutSetTrust:
 		reg := t.lookup(m.ID, now)
+		if mode == applyReplay {
+			reg = t.lookupAny(m.ID)
+		}
 		if reg == nil {
 			return false, nil // replay: target gone, skip
 		}
@@ -197,6 +225,20 @@ func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
 			}
 			return false, err
 		}
+		return true, nil
+	case MutTouch:
+		reg := t.lookup(m.ID, now)
+		if mode == applyReplay {
+			reg = t.lookupAny(m.ID)
+		}
+		if reg == nil {
+			return false, nil // replay: target gone, skip
+		}
+		// Replace rather than mutate: readers fetched the old value under
+		// the shard lock and may still be reading its expiry concurrently.
+		cp := *reg
+		cp.expiresAt = m.ExpiresAt
+		t.regs[m.ID] = &cp
 		return true, nil
 	case MutDeregister:
 		if _, ok := t.regs[m.ID]; !ok {
@@ -217,4 +259,22 @@ func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
 	default:
 		return false, fmt.Errorf("%w: mutation %v", ErrBadOp, m.Op)
 	}
+}
+
+// dropExpiredLocked removes every registration whose TTL has elapsed at
+// now and reports how many it dropped — the end-of-stream counterpart of
+// replay's expiry-blindness: recovery, resharding and follower bootstrap
+// all replay the full stream first and reclaim the dead entries here, so
+// a reopened store never resurrects a region whose lease ran out while
+// it was down. The caller holds the shard lock; nothing is journaled
+// (the WAL still replays into exactly this state).
+func (t regTable) dropExpiredLocked(now int64) int {
+	n := 0
+	for id, reg := range t.regs {
+		if reg.expiredAt(now) {
+			delete(t.regs, id)
+			n++
+		}
+	}
+	return n
 }

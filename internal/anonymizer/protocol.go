@@ -72,10 +72,41 @@ const (
 	// OpBackup streams a consistent hot backup of the server's durable
 	// registration store: the response's archive field carries a complete
 	// CRC-framed backup archive (base64 on the wire), restorable with
-	// `anonymizer restore`. Servers whose store is not durable reject the
-	// op. This is an operator endpoint: responses can be large, so take
-	// backups on a dedicated connection rather than a pipelined one.
+	// `anonymizer restore`. With a "since" watermark the archive is
+	// incremental: only the mutation records after that position, for
+	// `anonymizer restore -apply`. Servers whose store is not durable
+	// reject the op. This is an operator endpoint: responses can be
+	// large, so take backups on a dedicated connection rather than a
+	// pipelined one.
 	OpBackup Op = "backup"
+	// OpTouch renews a live registration's lease (owner-side): the expiry
+	// becomes ttl_ms from now (0 selects the server's default TTL), so
+	// mobile clients that periodically re-report their location extend
+	// the registration they hold instead of re-registering. The renewal
+	// is journaled and replicated like every other mutation.
+	OpTouch Op = "touch"
+	// OpReplSubscribe is the replication handshake: a follower presents
+	// its epoch record and watermark; the leader fences stale peers (a
+	// data dir that led an older epoch must re-bootstrap; a peer that
+	// knows a newer epoch means THIS node is stale) and returns its
+	// epoch, shard count and current watermark.
+	OpReplSubscribe Op = "repl_subscribe"
+	// OpReplFrames polls the leader's mutation stream: the request names
+	// the subscribed epoch and the follower's watermark; the response
+	// carries the per-shard records after it, in stream order.
+	OpReplFrames Op = "repl_frames"
+	// OpReplAck reports a follower's durably applied watermark, feeding
+	// the leader's replication-lag accounting (repl_status).
+	OpReplAck Op = "repl_ack"
+	// OpReplStatus reports the node's replication state: role, epoch,
+	// watermark, follower lag (leader) or leader address and backlog
+	// (follower). Works on any server with a durable store.
+	OpReplStatus Op = "repl_status"
+	// OpReplPromote promotes a follower to leader: the apply loop stops,
+	// the epoch advances past the old leader's, and the node starts
+	// accepting writes. Issued by `anonymizer promote` after the old
+	// leader is confirmed dead; the bumped epoch fences it permanently.
+	OpReplPromote Op = "repl_promote"
 )
 
 // Request is one protocol request.
@@ -104,6 +135,24 @@ type Request struct {
 	// uses the same fields as the corresponding single operation; its Op
 	// field is ignored.
 	Batch []Request `json:"batch,omitempty"`
+	// Replication fields. Epoch is the peer's replication epoch
+	// (repl_subscribe: the subscriber's last known leader epoch, 0 for a
+	// fresh bootstrap; repl_frames/repl_ack: the subscribed epoch).
+	// WasLeader marks a subscriber whose data directory claims
+	// leadership of Epoch — the fencing input. Follower is the
+	// subscriber's advertised address (for the leader's lag accounting).
+	// Watermark is the per-shard stream position the peer holds
+	// (repl_frames: fetch after it; repl_ack: durably applied up to it).
+	// MaxFrames bounds one repl_frames response (0 = server default).
+	Epoch     uint64   `json:"epoch,omitempty"`
+	WasLeader bool     `json:"was_leader,omitempty"`
+	Follower  string   `json:"follower,omitempty"`
+	Watermark []uint64 `json:"watermark,omitempty"`
+	MaxFrames int      `json:"max_frames,omitempty"`
+	// Since is the watermark of an earlier backup (the String spelling,
+	// e.g. "12,0,7"): the backup op then ships only the records after
+	// it, as an incremental archive.
+	Since string `json:"since,omitempty"`
 }
 
 // Response is one protocol response.
@@ -136,4 +185,17 @@ type Response struct {
 	// transport-level success; per-item failures are per-item responses
 	// with OK=false.
 	Batch []Response `json:"batch,omitempty"`
+	// Leader is set on write requests refused by a replication follower:
+	// the address writes should be retried against. Clients with leader
+	// routing follow it transparently.
+	Leader string `json:"leader,omitempty"`
+	// Replication fields: the node's epoch and shard count
+	// (repl_subscribe), its current watermark (repl_subscribe,
+	// repl_frames), the shipped stream records (repl_frames), and the
+	// full status document (repl_status).
+	Epoch     uint64        `json:"epoch,omitempty"`
+	Shards    int           `json:"shards,omitempty"`
+	Watermark []uint64      `json:"watermark,omitempty"`
+	Frames    []StreamFrame `json:"frames,omitempty"`
+	Repl      *ReplStatus   `json:"repl,omitempty"`
 }

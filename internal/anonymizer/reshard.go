@@ -20,9 +20,11 @@ type ReshardStats struct {
 	// Registrations is the number of live registrations in the migrated
 	// store.
 	Registrations int
-	// TrustUpdates and Deregistrations count the WAL mutations replayed.
+	// TrustUpdates, Deregistrations and Renewals count the WAL mutations
+	// replayed.
 	TrustUpdates    int
 	Deregistrations int
+	Renewals        int
 	// Expired counts registrations dropped because their TTL had elapsed
 	// by migration time — a reshard, like recovery, never resurrects a
 	// dead region.
@@ -106,7 +108,16 @@ func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*Resh
 	}
 	stats.TrustUpdates = tally.TrustUpdates
 	stats.Deregistrations = tally.Deregistrations
+	stats.Renewals = tally.Renewals
 	stats.Expired = tally.Expired
+	// Replay is expiry-blind (a later touch record may renew a lapsed
+	// lease); now that the full stream has replayed, reclaim what is
+	// still dead — the same end-of-stream sweep recovery performs.
+	for _, sh := range dst.shards {
+		sh.mu.Lock()
+		stats.Expired += sh.tab.dropExpiredLocked(openNow)
+		sh.mu.Unlock()
+	}
 
 	// The allocator must clear every ID the source ever issued — including
 	// deregistered ones — before the snapshot headers pin it.

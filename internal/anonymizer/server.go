@@ -48,6 +48,7 @@ type serverConfig struct {
 	connWorkers  int
 	queueDepth   int
 	maxBatchSize int
+	repl         Replicator
 }
 
 // WithStore installs an alternative registration backend. The default is
@@ -110,6 +111,14 @@ func WithMaxBatchSize(n int) ServerOption {
 	}
 }
 
+// WithReplicator installs the node's replication follower state: write
+// requests are refused (with a redirect to the leader) while the
+// replicator reports follower role, and repl_status/repl_promote consult
+// it. Pair it with WithStore(follower.Store()).
+func WithReplicator(r Replicator) ServerOption {
+	return func(c *serverConfig) { c.repl = r }
+}
+
 // defaultServerConfig returns the config before options are applied.
 func defaultServerConfig() serverConfig {
 	workers := runtime.GOMAXPROCS(0)
@@ -147,6 +156,9 @@ type Server struct {
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// replFollowers is the leader's follower registry (repl_status lag).
+	replFollowers replRegistry
 
 	wg sync.WaitGroup
 }
@@ -300,6 +312,11 @@ func (s *Server) dispatchOp(req *Request) *Response {
 		return fail(fmt.Errorf("%w: request major %d, server speaks %d",
 			ErrVersion, req.V, ProtocolMajor))
 	}
+	// Followers serve reads locally and redirect every mutation to the
+	// leader — the mutation stream has exactly one producer per epoch.
+	if writeOp(req.Op) && !s.isLeader() {
+		return s.notLeader()
+	}
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}
@@ -315,8 +332,20 @@ func (s *Server) dispatchOp(req *Request) *Response {
 		return s.handleReduce(req)
 	case OpDeregister:
 		return s.handleDeregister(req)
+	case OpTouch:
+		return s.handleTouch(req)
 	case OpBackup:
-		return s.handleBackup()
+		return s.handleBackup(req)
+	case OpReplSubscribe:
+		return s.handleReplSubscribe(req)
+	case OpReplFrames:
+		return s.handleReplFrames(req)
+	case OpReplAck:
+		return s.handleReplAck(req)
+	case OpReplStatus:
+		return s.handleReplStatus()
+	case OpReplPromote:
+		return s.handleReplPromote()
 	case OpAnonymizeBatch:
 		return s.handleBatch(req, s.handleAnonymize)
 	case OpReduceBatch:
@@ -473,8 +502,25 @@ type backuper interface {
 // handleBackup streams a hot backup of a durable store into the response.
 // The archive is consistent per shard (each shard is copied under its
 // lock as a prefix of its mutation stream) and self-verifying: restore
-// rejects any truncation or corruption the transport may introduce.
-func (s *Server) handleBackup() *Response {
+// rejects any truncation or corruption the transport may introduce. A
+// request with a since watermark ships an incremental archive instead:
+// only the stream records after that position.
+func (s *Server) handleBackup(req *Request) *Response {
+	if req.Since != "" {
+		st, errResp := s.replstore()
+		if errResp != nil {
+			return errResp
+		}
+		since, err := ParseWatermark(req.Since)
+		if err != nil {
+			return fail(err)
+		}
+		var buf bytes.Buffer
+		if _, _, err := st.WriteIncrementalBackup(&buf, since); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Archive: buf.Bytes()}
+	}
 	b, ok := s.store.(backuper)
 	if !ok {
 		return fail(fmt.Errorf("%w: backup requires a durable store", ErrBadOp))

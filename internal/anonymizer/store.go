@@ -132,6 +132,13 @@ type Store interface {
 	// recoverability: after it returns, the keys are gone and no requester
 	// can reduce the region again.
 	Deregister(id string) error
+	// Touch renews a live registration's lease: the expiry becomes ttl
+	// from now (ttl <= 0 selects the store's default TTL; with no default
+	// either, the bound is cleared and the registration lives until
+	// deregistered). It returns the new expiry instant (zero when the
+	// bound was cleared). Durable implementations journal the renewal so
+	// recovery replays it.
+	Touch(id string, ttl time.Duration) (time.Time, error)
 	// Len reports the number of stored registrations, counting expired
 	// entries the sweeper has not yet reclaimed.
 	Len() int
@@ -333,6 +340,29 @@ func (s *shardedStore) Deregister(id string) error {
 		return fmt.Errorf("%w: missing region id", ErrBadOp)
 	}
 	return s.mutate(&Mutation{Op: MutDeregister, ID: id})
+}
+
+// Touch implements Store: the lease renewal flows through the shared
+// apply path like every other mutation.
+func (s *shardedStore) Touch(id string, ttl time.Duration) (time.Time, error) {
+	if id == "" {
+		return time.Time{}, fmt.Errorf("%w: missing region id", ErrBadOp)
+	}
+	if ttl <= 0 {
+		ttl = s.cfg.ttl
+	}
+	var expiresAt int64
+	if ttl > 0 {
+		expiresAt = s.cfg.now().Add(ttl).UnixNano()
+	}
+	if err := s.mutate(&Mutation{Op: MutTouch, ID: id, ExpiresAt: expiresAt}); err != nil {
+		return time.Time{}, err
+	}
+	if expiresAt == 0 {
+		return time.Time{}, nil
+	}
+	s.ensureSweeper()
+	return time.Unix(0, expiresAt).UTC(), nil
 }
 
 // Len implements Store.

@@ -60,6 +60,8 @@ const (
 	// recExpire removes a registration whose TTL elapsed (appended by the
 	// GC sweeper, idempotent on replay).
 	recExpire recType = "expire"
+	// recTouch renews a registration's lease with a new expiry instant.
+	recTouch recType = "touch"
 	// recSnapHeader opens a snapshot file and carries the ID allocator
 	// position.
 	recSnapHeader recType = "snapshot"
@@ -70,6 +72,12 @@ const (
 // where zero is never meaningful.
 type walRecord struct {
 	Type recType `json:"type"`
+	// Seq is the record's per-shard stream offset: a monotonic sequence
+	// number every mutation record carries, making the WAL consumable as
+	// a replication stream (TailFrom) and addressable by incremental
+	// backup watermarks. Snapshot entries carry no Seq of their own; the
+	// snapshot header's StreamSeq pins the position the snapshot covers.
+	Seq uint64 `json:"seq,omitempty"`
 	// ID is the region ID the record applies to (all types but snapshot).
 	ID string `json:"id,omitempty"`
 	// Register payload: the published region, the per-level keys in level
@@ -86,8 +94,11 @@ type walRecord struct {
 	Requester string `json:"requester,omitempty"`
 	ToLevel   int    `json:"to_level"`
 	// Snapshot header payload: the next-ID counter at snapshot time, so
-	// recovery never re-issues an ID that was ever handed out.
-	NextID uint64 `json:"next_id,omitempty"`
+	// recovery never re-issues an ID that was ever handed out, and the
+	// stream offset of the last mutation the snapshot folds in, so the
+	// per-shard sequence survives compaction.
+	NextID    uint64 `json:"next_id,omitempty"`
+	StreamSeq uint64 `json:"stream_seq,omitempty"`
 }
 
 // appendFrame frames an opaque payload into buf (reusing its capacity)
@@ -186,6 +197,20 @@ func readRecords(r io.Reader, fn func(*walRecord) error) (int64, error) {
 // prefix before the returned offset is intact.
 var errTornTail = errors.New("anonymizer: torn log tail")
 
+// nextStreamSeq advances a running per-shard stream position past one
+// record: records stamped with an offset pin the position exactly, and
+// records written before stream offsets existed (Seq 0) count up from
+// wherever the scan stands. EVERY scanner of a shard stream — recovery,
+// TailFrom, the backup watermark derivations, incremental apply — must
+// advance through this one function, or the sides of the stream would
+// disagree on where a record sits.
+func nextStreamSeq(seq, recSeq uint64) uint64 {
+	if recSeq != 0 {
+		return recSeq
+	}
+	return seq + 1
+}
+
 // registerRecord captures a registration (and the current state of its
 // policy) as a WAL record.
 func registerRecord(id string, reg *Registration) *walRecord {
@@ -213,6 +238,8 @@ func recordFromMutation(m *Mutation) *walRecord {
 		return &walRecord{Type: recDeregister, ID: m.ID}
 	case MutExpire:
 		return &walRecord{Type: recExpire, ID: m.ID}
+	case MutTouch:
+		return &walRecord{Type: recTouch, ID: m.ID, ExpiresAt: m.ExpiresAt}
 	default:
 		// Unreachable: mutations are built by the stores, never parsed.
 		panic(fmt.Sprintf("anonymizer: no record encoding for mutation %v", m.Op))
@@ -236,6 +263,8 @@ func mutationFromRecord(rec *walRecord) (*Mutation, error) {
 		return &Mutation{Op: MutDeregister, ID: rec.ID}, nil
 	case recExpire:
 		return &Mutation{Op: MutExpire, ID: rec.ID}, nil
+	case recTouch:
+		return &Mutation{Op: MutTouch, ID: rec.ID, ExpiresAt: rec.ExpiresAt}, nil
 	default:
 		return nil, fmt.Errorf("%w: unexpected %q record", ErrCorruptLog, rec.Type)
 	}

@@ -154,7 +154,10 @@ func replayTranscript(t *testing.T, addr, file string) {
 }
 
 // TestWireGoldenTranscripts replays every testdata/protocol transcript
-// against a live server, one fresh connection per file.
+// against a live server, one fresh connection per file. Files named
+// repl_*.ndjson run against a DURABLE server (two shards, no traffic),
+// since the replication ops require a store with a mutation stream; all
+// others run against the default in-memory server.
 func TestWireGoldenTranscripts(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "protocol", "*.ndjson"))
 	if err != nil {
@@ -164,10 +167,18 @@ func TestWireGoldenTranscripts(t *testing.T) {
 		t.Fatal("no golden transcripts under testdata/protocol")
 	}
 	_, addr, _ := startServer(t)
+	g, density := testGrid(t)
+	durableSrv := newTestServer(t, g, density,
+		WithStore(openDurable(t, t.TempDir(), WithDurableShards(2))))
+	durableAddr := startTestServer(t, durableSrv)
 	for _, file := range files {
 		file := file
+		target := addr
+		if strings.HasPrefix(filepath.Base(file), "repl_") {
+			target = durableAddr
+		}
 		t.Run(filepath.Base(file), func(t *testing.T) {
-			replayTranscript(t, addr, file)
+			replayTranscript(t, target, file)
 		})
 	}
 }

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/anonymizer"
+	"github.com/reversecloak/reversecloak/internal/anonymizer/repl"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/metrics"
+)
+
+// E19ReplicatedReads measures the replicated service: a leader and a
+// log-shipping follower (both real servers over TCP loopback), with a
+// fixed reader pool hammering the follower's get_region while a swept
+// number of writers registers and deregisters against the leader. Read
+// throughput should hold roughly steady as writer concurrency grows —
+// reads never touch the leader — while the "lag" column shows how far
+// the follower's stream position trails the leader's at the end of each
+// step, and "stale" counts reads that arrived before their registration
+// replicated.
+func E19ReplicatedReads(env *Env) (*metrics.Table, error) {
+	leaderDir, err := os.MkdirTemp("", "reversecloak-e19-leader-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(leaderDir) }()
+	followerDir, err := os.MkdirTemp("", "reversecloak-e19-follower-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(followerDir) }()
+	// The follower dir must not exist for the bootstrap restore.
+	_ = os.RemoveAll(followerDir)
+
+	leaderStore, err := anonymizer.OpenDurableStore(leaderDir,
+		anonymizer.WithDurableShards(4))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = leaderStore.Close() }()
+	engines := map[cloak.Algorithm]*cloak.Engine{cloak.RGE: env.RGE}
+	leader, err := anonymizer.NewServer(engines, anonymizer.WithStore(leaderStore))
+	if err != nil {
+		return nil, err
+	}
+	leaderAddr, err := leader.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = leader.Close() }()
+
+	// Seed the read working set on the leader before the follower
+	// bootstraps, so the backup archive carries it.
+	seedIDs, err := e19Seed(leaderAddr.String(), env, 50*env.Opts.Trials)
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := repl.Start(repl.Config{
+		LeaderAddr: leaderAddr.String(),
+		DataDir:    followerDir,
+		Advertise:  "e19-follower",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	follower, err := anonymizer.NewServer(engines,
+		anonymizer.WithStore(f.Store()), anonymizer.WithReplicator(f))
+	if err != nil {
+		return nil, err
+	}
+	followerAddr, err := follower.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = follower.Close() }()
+	if err := e19AwaitCatchup(leaderStore, f, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	const readers = 4
+	window := time.Duration(200*env.Opts.Trials) * time.Millisecond
+	tab := metrics.NewTable(
+		fmt.Sprintf("E19: replicated read throughput and lag vs writer concurrency (%d readers, %s windows)",
+			readers, window),
+		"writers", "writes/s", "follower reads/s", "stale", "end lag")
+	for _, writers := range []int{1, 4, 16} {
+		row, err := e19Step(leaderAddr.String(), followerAddr.String(),
+			leaderStore, f, env, seedIDs, writers, readers, window)
+		if err != nil {
+			return nil, fmt.Errorf("E19 writers=%d: %w", writers, err)
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// e19Seed registers a read working set against the leader and returns
+// the region IDs.
+func e19Seed(addr string, env *Env, n int) ([]string, error) {
+	c, err := anonymizer.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+	prof := uniformProfile(1, 10)
+	var ids []string
+	for _, user := range env.SampleUsers(4*n, "e19-seed") {
+		if len(ids) >= n {
+			break
+		}
+		id, _, err := c.Anonymize(user, prof, "RGE")
+		if err != nil {
+			if errors.Is(err, anonymizer.ErrRemote) {
+				continue // infeasible cloak for this user
+			}
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("bench: no seed registration cloaked successfully")
+	}
+	return ids, nil
+}
+
+// e19AwaitCatchup waits until the follower's stream position reaches the
+// leader's.
+func e19AwaitCatchup(leader *anonymizer.DurableStore, f *repl.Follower, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Store().Watermark().Sum() >= leader.Watermark().Sum() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: follower never caught up (leader %s, follower %s)",
+				leader.Watermark(), f.Store().Watermark())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// e19Step runs one sweep cell: writers registering+deregistering on the
+// leader while a fixed reader pool reads the seeded IDs plus the fresh
+// ones from the follower.
+func e19Step(
+	leaderAddr, followerAddr string,
+	leaderStore *anonymizer.DurableStore,
+	f *repl.Follower,
+	env *Env,
+	seedIDs []string,
+	writers, readers int,
+	window time.Duration,
+) ([]string, error) {
+	prof := uniformProfile(1, 10)
+	users := env.SampleUsers(256, "e19-writes")
+
+	var (
+		writes    atomic.Int64
+		reads     atomic.Int64
+		stale     atomic.Int64
+		transport atomic.Pointer[error]
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < writers; w++ {
+		c, err := anonymizer.Dial(leaderAddr)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(c *anonymizer.Client, w int) {
+			defer wg.Done()
+			defer func() { _ = c.Close() }()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				user := users[(w*131+i*17)%len(users)]
+				i++
+				id, _, err := c.Anonymize(user, prof, "RGE")
+				if err != nil {
+					if errors.Is(err, anonymizer.ErrRemote) {
+						continue
+					}
+					transport.Store(&err)
+					return
+				}
+				if err := c.Deregister(id); err != nil && !errors.Is(err, anonymizer.ErrRemote) {
+					transport.Store(&err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(c, w)
+	}
+	for r := 0; r < readers; r++ {
+		c, err := anonymizer.Dial(followerAddr)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(c *anonymizer.Client, r int) {
+			defer wg.Done()
+			defer func() { _ = c.Close() }()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := seedIDs[(r*31+i)%len(seedIDs)]
+				i++
+				if _, _, err := c.GetRegion(id); err != nil {
+					if errors.Is(err, anonymizer.ErrRemote) {
+						stale.Add(1)
+					} else {
+						transport.Store(&err)
+						return
+					}
+				}
+				reads.Add(1)
+			}
+		}(c, r)
+	}
+	time.Sleep(window)
+	lag := int64(leaderStore.Watermark().Sum()) - int64(f.Store().Watermark().Sum())
+	if lag < 0 {
+		lag = 0
+	}
+	close(stop)
+	wg.Wait()
+	if errp := transport.Load(); errp != nil {
+		return nil, *errp
+	}
+	return []string{
+		fmt.Sprintf("%d", writers),
+		fmt.Sprintf("%.0f", float64(writes.Load())/window.Seconds()),
+		fmt.Sprintf("%.0f", float64(reads.Load())/window.Seconds()),
+		fmt.Sprintf("%d", stale.Load()),
+		fmt.Sprintf("%d frames", lag),
+	}, nil
+}

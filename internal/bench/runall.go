@@ -38,6 +38,7 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E16", "service throughput by concurrency", wrap(E16ServiceThroughput)},
 		{"E17", "durable store overhead by fsync policy", wrap(E17DurabilityOverhead)},
 		{"E18", "group commit fsync=always recovery", wrap(E18GroupCommit)},
+		{"E19", "replicated read throughput and lag", wrap(E19ReplicatedReads)},
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"github.com/reversecloak/reversecloak/internal/anonymizer"
+	"github.com/reversecloak/reversecloak/internal/anonymizer/repl"
 	"github.com/reversecloak/reversecloak/internal/cloak"
 	"github.com/reversecloak/reversecloak/internal/geom"
 	"github.com/reversecloak/reversecloak/internal/keys"
@@ -159,6 +160,34 @@ type (
 	ReduceSpec = anonymizer.ReduceSpec
 	// ReduceResult is one item of a Client.ReduceBatch response.
 	ReduceResult = anonymizer.ReduceResult
+	// ClientOption customizes a Client (leader routing).
+	ClientOption = anonymizer.ClientOption
+)
+
+// Replication and stream types.
+type (
+	// Watermark is a per-shard mutation-stream position ("12,0,7" on the
+	// CLI); backups report one and incremental backups start after one.
+	Watermark = anonymizer.Watermark
+	// StreamFrame is one shipped mutation record of the replication
+	// stream.
+	StreamFrame = anonymizer.StreamFrame
+	// IncrementalStats describes what an incremental backup or apply
+	// moved.
+	IncrementalStats = anonymizer.IncrementalStats
+	// Replicator is the follower-side state a server consults (role,
+	// leader address, lag, promotion); *Follower implements it.
+	Replicator = anonymizer.Replicator
+	// ReplStatus is the repl_status document (role, epoch, watermark,
+	// lag).
+	ReplStatus = anonymizer.ReplStatus
+	// FollowerStatus is one subscribed follower in a leader's ReplStatus.
+	FollowerStatus = anonymizer.FollowerStatus
+	// Follower replicates a leader's mutation stream into a local durable
+	// store and can be promoted to leader.
+	Follower = repl.Follower
+	// FollowerConfig configures StartFollower.
+	FollowerConfig = repl.Config
 )
 
 // Query types.
@@ -241,6 +270,17 @@ var (
 	// ErrBadArchive reports a truncated or corrupted backup archive;
 	// RestoreArchive never touches the destination once it is returned.
 	ErrBadArchive = anonymizer.ErrBadArchive
+	// ErrNotLeader reports a mutation attempted on a replication
+	// follower; the wire response names the leader to retry against.
+	ErrNotLeader = anonymizer.ErrNotLeader
+	// ErrStreamGap reports a stream position compacted away: the
+	// consumer (lagging follower, stale incremental watermark) must
+	// restart from a full backup.
+	ErrStreamGap = anonymizer.ErrStreamGap
+	// ErrFenced reports a replication peer rejected for epoch reasons —
+	// most importantly a stale leader trying to rejoin after a failover
+	// without re-bootstrapping.
+	ErrFenced = anonymizer.ErrFenced
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -416,8 +456,60 @@ func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*Resh
 	return anonymizer.Reshard(srcDir, dstDir, shards, opts...)
 }
 
-// DialServer connects to a trusted anonymization server.
-func DialServer(addr string) (*Client, error) { return anonymizer.Dial(addr) }
+// ParseWatermark parses the CLI spelling of a stream watermark
+// (comma-separated per-shard offsets, e.g. "12,0,7").
+func ParseWatermark(s string) (Watermark, error) { return anonymizer.ParseWatermark(s) }
+
+// ArchiveWatermark scans a backup archive (full or incremental) and
+// reports the stream watermark it reaches — the -since for the next
+// incremental backup.
+func ArchiveWatermark(r io.Reader) (Watermark, error) { return anonymizer.ArchiveWatermark(r) }
+
+// IncrementalBackupDir streams a closed data directory's mutation
+// records after since to w as one incremental archive (see
+// DurableStore.WriteIncrementalBackup for the hot variant).
+func IncrementalBackupDir(w io.Writer, dir string, since Watermark) (int64, *IncrementalStats, error) {
+	return anonymizer.IncrementalBackupDir(w, dir, since)
+}
+
+// ApplyIncremental extends a closed data directory with an incremental
+// archive: every delta record lands through the same journal+apply
+// pipeline a replication follower uses.
+func ApplyIncremental(r io.Reader, dir string, opts ...DurabilityOption) (*IncrementalStats, error) {
+	return anonymizer.ApplyIncremental(r, dir, opts...)
+}
+
+// WithReplica opens a durable store as a replication follower: local
+// mutations are refused and the TTL sweeper stays off (expire records
+// arrive through the leader's stream).
+func WithReplica() DurabilityOption { return anonymizer.WithReplica() }
+
+// WithClock substitutes a durable store's wall clock (tests and
+// deterministic harnesses).
+func WithClock(now func() time.Time) DurabilityOption { return anonymizer.WithClock(now) }
+
+// WithReplicator installs a server's replication follower state: writes
+// are refused with a redirect to the leader while the replicator reports
+// follower role. Pair with WithStore(follower.Store()).
+func WithReplicator(r Replicator) ServerOption { return anonymizer.WithReplicator(r) }
+
+// StartFollower bootstraps (from a hot backup of the leader, when the
+// data dir is fresh) and starts a replication follower tailing the
+// leader's mutation stream. Plug the result into a server with
+// WithStore(f.Store()) and WithReplicator(f).
+func StartFollower(cfg FollowerConfig) (*Follower, error) { return repl.Start(cfg) }
+
+// DialServer connects to a trusted anonymization server. Options tune
+// the client (e.g. WithLeaderRouting to follow write redirects from a
+// replication follower to its leader).
+func DialServer(addr string, opts ...ClientOption) (*Client, error) {
+	return anonymizer.Dial(addr, opts...)
+}
+
+// WithLeaderRouting makes a client follower-aware: writes refused by a
+// replication follower are transparently retried against the advertised
+// leader, while reads keep hitting the dialed address.
+func WithLeaderRouting() ClientOption { return anonymizer.WithLeaderRouting() }
 
 // GeneratePOIs places n POIs uniformly along the network.
 func GeneratePOIs(g *Graph, n int, seed []byte) ([]POI, error) {
