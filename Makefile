@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race bench bench-smoke staticcheck fmt fmt-check vet ci linkcheck examples fuzz-smoke e2e e2e-repl
+.PHONY: all build test test-full race bench bench-smoke staticcheck govulncheck fmt fmt-check vet ci linkcheck examples fuzz-smoke e2e e2e-repl e2e-tenants
 
 all: build test
 
@@ -19,7 +19,7 @@ test-full:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/anonymizer ./internal/anonymizer/repl ./internal/cloak
+	$(GO) test -race -short ./internal/anonymizer ./internal/anonymizer/repl ./internal/anonymizer/tenant ./internal/cloak
 
 # Full experiment harness + service throughput benchmarks (the nightly job).
 bench:
@@ -40,6 +40,13 @@ vet:
 # network on first run to fetch the tool).
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2023.1.7 ./...
+
+# Known-vulnerability scan over the module graph and the stdlib calls we
+# reach (non-blocking in CI: an advisory published overnight must not
+# turn unrelated pushes red; needs network to fetch the tool and the
+# vuln DB).
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # Durability experiments only, tiny iteration counts (the CI bench-smoke
 # job): fails fast on WAL / fsync / group-commit regressions.
@@ -63,6 +70,12 @@ e2e:
 e2e-repl:
 	sh scripts/e2e-repl.sh
 
+# End-to-end multi-tenant plane: auth gate -> capability denials ->
+# rate-limit throttling -> operator backup -> live revocation ->
+# /metrics agreement (the CI e2e-tenants job).
+e2e-tenants:
+	sh scripts/e2e-tenants.sh
+
 # Verify that every relative markdown link resolves.
 linkcheck:
 	sh scripts/check-links.sh
@@ -73,4 +86,4 @@ examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run "./$$d" -short || exit 1; done
 
 # Everything the blocking CI jobs run.
-ci: fmt-check vet build test race linkcheck examples fuzz-smoke e2e e2e-repl
+ci: fmt-check vet build test race linkcheck examples fuzz-smoke e2e e2e-repl e2e-tenants

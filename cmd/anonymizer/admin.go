@@ -38,6 +38,8 @@ func runBackup(argv []string) error {
 		dataDir = fs.String("data-dir", "", "archive this (stopped) data directory offline")
 		out     = fs.String("out", "-", `destination: a file path, "-" for stdout, or an http(s):// URL to POST to`)
 		since   = fs.String("since", "", `ship only stream records after this watermark (e.g. "12,0,7"), as an incremental archive`)
+		tenant  = fs.String("tenant", "", "authenticate to the server as this tenant (operator capability)")
+		token   = fs.String("token", "", "tenant token for -tenant")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -59,14 +61,14 @@ func runBackup(argv []string) error {
 	switch {
 	case *addr != "" && sinceWM != nil:
 		var c *rc.Client
-		if c, err = rc.DialServer(*addr); err != nil {
+		if c, err = dialAuthed(*addr, *tenant, *token); err != nil {
 			return err
 		}
 		defer func() { _ = c.Close() }()
 		n, err = c.BackupSince(&buf, sinceWM)
 	case *addr != "":
 		var c *rc.Client
-		if c, err = rc.DialServer(*addr); err != nil {
+		if c, err = dialAuthed(*addr, *tenant, *token); err != nil {
 			return err
 		}
 		defer func() { _ = c.Close() }()

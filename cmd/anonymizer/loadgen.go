@@ -33,6 +33,8 @@ func runLoadgen(argv []string) error {
 		readAddr = fs.String("read-addr", "",
 			"aim a get_region read at this address (e.g. a replication follower) after each registration; "+
 				"unknown-region responses count as stale reads (replication lag)")
+		tenantName = fs.String("tenant", "", "authenticate every connection as this tenant")
+		token      = fs.String("token", "", "tenant token for -tenant")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -46,8 +48,8 @@ func runLoadgen(argv []string) error {
 	}
 	prof := rc.Profile{Levels: []rc.Level{{K: *kAnon, L: *lDiv}}}
 
-	// Fail fast if the server is unreachable.
-	probe, err := rc.DialServer(*addr)
+	// Fail fast if the server is unreachable (or the credentials are bad).
+	probe, err := dialAuthed(*addr, *tenantName, *token)
 	if err != nil {
 		return err
 	}
@@ -71,11 +73,14 @@ func runLoadgen(argv []string) error {
 		fmt.Printf("%-10s %12s %12s %10s %10s\n", "clients", "req/s", "ok", "failed", "speedup")
 	}
 	var base float64
+	var totalDenied, totalThrottled int64
 	for _, n := range counts {
-		res, err := runStep(*addr, *readAddr, n, *duration, prof, *batch, *segments, *ttl)
+		res, err := runStep(*addr, *readAddr, *tenantName, *token, n, *duration, prof, *batch, *segments, *ttl)
 		if err != nil {
 			return fmt.Errorf("step clients=%d: %w", n, err)
 		}
+		totalDenied += res.denied
+		totalThrottled += res.throttled
 		rate := float64(res.done) / duration.Seconds()
 		if base == 0 && rate > 0 {
 			base = rate
@@ -84,24 +89,46 @@ func runLoadgen(argv []string) error {
 		if base > 0 {
 			speedup = rate / base
 		}
+		ok := res.done - res.failed - res.denied - res.throttled
 		if *readAddr != "" {
 			fmt.Printf("%-10d %12.0f %12d %10d %12.0f %10d %9.2fx\n",
-				n, rate, res.done-res.failed, res.failed,
+				n, rate, ok, res.failed,
 				float64(res.reads)/duration.Seconds(), res.stale, speedup)
 		} else {
 			fmt.Printf("%-10d %12.0f %12d %10d %9.2fx\n",
-				n, rate, res.done-res.failed, res.failed, speedup)
+				n, rate, ok, res.failed, speedup)
 		}
 	}
+	// Trust-boundary rejections, on one grep-friendly line: capability
+	// denials and rate-limit throttles are the expected outcome when the
+	// workload exceeds the tenant's grants, not generic failures.
+	fmt.Printf("rejected: denied=%d throttled=%d\n", totalDenied, totalThrottled)
 	return nil
+}
+
+// dialAuthed dials the server and authenticates when credentials are set.
+func dialAuthed(addr, tenant, token string) (*rc.Client, error) {
+	c, err := rc.DialServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	if tenant != "" || token != "" {
+		if err := c.Auth(tenant, token); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("auth as %q: %w", tenant, err)
+		}
+	}
+	return c, nil
 }
 
 // stepResult aggregates one sweep step's counters.
 type stepResult struct {
-	done   int64 // completed write requests
-	failed int64 // server-side failures among them
-	reads  int64 // follower reads issued
-	stale  int64 // follower reads that missed (not yet replicated)
+	done      int64 // completed write requests
+	failed    int64 // server-side failures among them
+	reads     int64 // follower reads issued
+	stale     int64 // follower reads that missed (not yet replicated)
+	denied    int64 // capability rejections (tenant lacks the grant)
+	throttled int64 // rate-limit rejections (tenant over budget)
 }
 
 // runStep drives n concurrent clients (one connection each) for the window
@@ -113,7 +140,7 @@ type stepResult struct {
 // every registration it creates — aimed at a replication follower, the
 // stale count exposes replication lag under this write load.
 func runStep(
-	addr, readAddr string,
+	addr, readAddr, tenant, token string,
 	n int,
 	window time.Duration,
 	prof rc.Profile,
@@ -122,7 +149,7 @@ func runStep(
 ) (*stepResult, error) {
 	clients := make([]*rc.Client, n)
 	for i := range clients {
-		c, err := rc.DialServer(addr)
+		c, err := dialAuthed(addr, tenant, token)
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +159,7 @@ func runStep(
 	readers := make([]*rc.Client, n)
 	if readAddr != "" {
 		for i := range readers {
-			c, err := rc.DialServer(readAddr)
+			c, err := dialAuthed(readAddr, tenant, token)
 			if err != nil {
 				return nil, err
 			}
@@ -145,9 +172,28 @@ func runStep(
 		failed    atomic.Int64
 		reads     atomic.Int64
 		stale     atomic.Int64
+		denied    atomic.Int64
+		throttled atomic.Int64
 		transport atomic.Pointer[error]
 		wg        sync.WaitGroup
 	)
+	// reject classifies a server-side rejection into the right counter and
+	// reports whether it swallowed the error; transport errors stay fatal.
+	// Order matters: denied/throttled are ErrRemote too, so the generic
+	// bucket is last.
+	reject := func(err error) bool {
+		switch {
+		case errors.Is(err, rc.ErrDenied):
+			denied.Add(1)
+		case errors.Is(err, rc.ErrThrottled):
+			throttled.Add(1)
+		case errors.Is(err, rc.ErrRemote):
+			failed.Add(1)
+		default:
+			return false
+		}
+		return true
+	}
 	// release deregisters one registration when the step owns cleanup;
 	// with a TTL the server's sweeper reclaims it instead.
 	release := func(c *rc.Client, id string) error {
@@ -155,8 +201,7 @@ func runStep(
 			return nil
 		}
 		if err := c.Deregister(id); err != nil {
-			if errors.Is(err, rc.ErrRemote) {
-				failed.Add(1)
+			if reject(err) {
 				return nil
 			}
 			return err
@@ -199,6 +244,10 @@ func runStep(
 					}
 					results, err := c.AnonymizeBatch(specs)
 					if err != nil {
+						if reject(err) {
+							done.Add(int64(len(specs)))
+							continue
+						}
 						transport.Store(&err)
 						return
 					}
@@ -223,8 +272,7 @@ func runStep(
 				i++
 				id, _, err := c.AnonymizeTTL(user, prof, "RGE", ttl)
 				if err != nil {
-					if errors.Is(err, rc.ErrRemote) {
-						failed.Add(1)
+					if reject(err) {
 						done.Add(1)
 						continue
 					}
@@ -247,6 +295,7 @@ func runStep(
 	res := &stepResult{
 		done: done.Load(), failed: failed.Load(),
 		reads: reads.Load(), stale: stale.Load(),
+		denied: denied.Load(), throttled: throttled.Load(),
 	}
 	if errp := transport.Load(); errp != nil {
 		return res, *errp

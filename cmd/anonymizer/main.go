@@ -11,7 +11,9 @@
 //
 //	anonymizer serve   -addr :7080 -map small      # run the trusted server
 //	anonymizer serve   -addr :7081 -data-dir d2 -replicate-from :7080
+//	anonymizer serve   -addr :7080 -tenants tenants.json -admin-addr :9090
 //	anonymizer loadgen -addr :7080 -clients 1,4,16,64
+//	anonymizer loadgen -addr :7080 -tenant fleet -token SECRET
 //	anonymizer backup  -addr :7080 -out backup.rca # hot backup a live server
 //	anonymizer backup  -addr :7080 -since 12,0,7 -out delta.rca
 //	anonymizer restore -in backup.rca -data-dir d2 # seed a fresh data dir
@@ -25,8 +27,11 @@
 // and reports req/s per step, demonstrating how the sharded, pipelined
 // service scales with cores (with -read-addr it aims reads at a follower).
 // backup/restore/reshard/dump are the data-dir lifecycle tools, and
-// serve -replicate-from / status / promote are the replication tools;
-// docs/OPERATIONS.md is their runbook.
+// serve -replicate-from / status / promote are the replication tools.
+// With serve -tenants the server authenticates and rate-limits every
+// connection (loadgen/backup/status/promote then take -tenant/-token),
+// and -admin-addr exposes /metrics, /healthz, /readyz and pprof on a
+// separate listener; docs/OPERATIONS.md is the runbook for all of it.
 package main
 
 import (

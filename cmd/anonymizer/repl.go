@@ -26,6 +26,8 @@ func runPromote(argv []string) error {
 	var (
 		addr    = fs.String("addr", "", "promote the running follower at this address")
 		dataDir = fs.String("data-dir", "", "promote this (stopped) follower data directory offline")
+		tenant  = fs.String("tenant", "", "authenticate to the server as this tenant (operator capability)")
+		token   = fs.String("token", "", "tenant token for -tenant")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -34,7 +36,7 @@ func runPromote(argv []string) error {
 		return fmt.Errorf("exactly one of -addr or -data-dir is required")
 	}
 	if *addr != "" {
-		c, err := rc.DialServer(*addr)
+		c, err := dialAuthed(*addr, *tenant, *token)
 		if err != nil {
 			return err
 		}
@@ -70,10 +72,12 @@ func runPromote(argv []string) error {
 func runStatus(argv []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7080", "server address")
+	tenant := fs.String("tenant", "", "authenticate to the server as this tenant (operator capability)")
+	token := fs.String("token", "", "tenant token for -tenant")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
-	c, err := rc.DialServer(*addr)
+	c, err := dialAuthed(*addr, *tenant, *token)
 	if err != nil {
 		return err
 	}

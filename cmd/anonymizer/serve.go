@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +36,20 @@ func runServe(argv []string) error {
 			"run as a replication follower of the leader at this address (requires -data-dir)")
 		advertise = fs.String("advertise", "",
 			"address clients and the leader should reach this node at (default: -addr)")
+
+		tenantsFile = fs.String("tenants", "",
+			"tenants file (JSON): enables authentication, capabilities and per-tenant rate limits")
+		tenantsReload = fs.Duration("tenants-reload", 2*time.Second,
+			"poll the tenants file for edits on this period (0 disables hot reload)")
+		adminAddr = fs.String("admin-addr", "",
+			"admin HTTP listener (/metrics, /healthz, /readyz, /debug/pprof); empty disables it")
+		readyMaxLag = fs.Int64("ready-max-lag", rc.DefaultReadyMaxLag,
+			"/readyz reports unready while a follower trails the leader by more than this many stream records")
+
+		replTenant = fs.String("repl-tenant", "",
+			"tenant name this follower authenticates to the leader as (with -repl-token)")
+		replToken = fs.String("repl-token", "",
+			"tenant token for -repl-tenant; needed when the leader runs with -tenants")
 
 		ttl = fs.Duration("ttl", rc.DefaultRegistrationTTL,
 			"registration lifetime before the expiry sweeper reclaims it (0 = live until deregistered)")
@@ -76,6 +92,21 @@ func runServe(argv []string) error {
 	if *workers > 0 {
 		opts = append(opts, rc.WithConnWorkers(*workers))
 	}
+	if *tenantsFile != "" {
+		reg, err := rc.LoadTenants(*tenantsFile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = reg.Close() }()
+		if *tenantsReload > 0 {
+			reg.Watch(*tenantsReload, func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			})
+		}
+		fmt.Printf("tenants: %d loaded from %s (reload every %s)\n",
+			reg.Len(), *tenantsFile, *tenantsReload)
+		opts = append(opts, rc.WithTenants(reg))
+	}
 	if *advertise == "" {
 		*advertise = *addr
 	}
@@ -102,6 +133,8 @@ func runServe(argv []string) error {
 			LeaderAddr:   *replicateFrom,
 			DataDir:      *dataDir,
 			Advertise:    *advertise,
+			Tenant:       *replTenant,
+			Token:        *replToken,
 			StoreOptions: durOpts,
 			Logf: func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
@@ -178,6 +211,18 @@ func runServe(argv []string) error {
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
+	}
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		admin := &http.Server{
+			Handler: srv.AdminHandler(rc.AdminConfig{ReadyMaxLag: *readyMaxLag}),
+		}
+		go func() { _ = admin.Serve(ln) }()
+		defer func() { _ = admin.Close() }()
+		fmt.Printf("admin http on %s (/metrics /healthz /readyz /debug/pprof)\n", ln.Addr())
 	}
 	role := ""
 	if *replicateFrom != "" {

@@ -1,0 +1,73 @@
+package anonymizer
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminConfig tunes the admin HTTP handler.
+type AdminConfig struct {
+	// ReadyMaxLag is the most stream records a replication follower may
+	// trail the leader by and still report ready (0 = DefaultReadyMaxLag).
+	// Leaders and standalone nodes ignore it.
+	ReadyMaxLag int64
+}
+
+// DefaultReadyMaxLag is the follower-lag readiness threshold when
+// AdminConfig leaves it zero.
+const DefaultReadyMaxLag = 256
+
+// AdminHandler returns the server's operational HTTP surface, served on
+// a listener of the caller's choosing (serve -admin-addr binds one):
+//
+//	/metrics      Prometheus text exposition (writeMetrics)
+//	/healthz      liveness: 200 while the server is not closed
+//	/readyz       readiness: recovery done and, on a replication
+//	              follower, caught up to within ReadyMaxLag records
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// The handler carries no authentication of its own: bind it to loopback
+// or an operator network, never the tenant-facing address.
+func (s *Server) AdminHandler(cfg AdminConfig) http.Handler {
+	maxLag := cfg.ReadyMaxLag
+	if maxLag <= 0 {
+		maxLag = DefaultReadyMaxLag
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isClosed() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isClosed() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		// Recovery is part of construction: a Server only exists once its
+		// store (durable recovery included) is open. What can still make
+		// the node unfit for traffic is replication lag: a follower far
+		// behind the leader serves stale reads.
+		if s.cfg.repl != nil && !s.cfg.repl.IsLeader() {
+			if lag, _ := s.cfg.repl.Lag(); lag > maxLag {
+				http.Error(w, fmt.Sprintf("follower lagging: %d records behind (max %d)",
+					lag, maxLag), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -23,6 +23,45 @@ var (
 	ErrClientClosed = errors.New("anonymizer: client closed")
 )
 
+// RemoteError is the error the client returns for a server-side
+// rejection. It always matches errors.Is(err, ErrRemote); when the
+// server attached a machine-readable code it additionally matches the
+// corresponding trust-boundary sentinel (ErrAuthRequired, ErrAuthFailed,
+// ErrDenied, ErrThrottled), so callers can branch on the rejection class
+// without parsing message strings.
+type RemoteError struct {
+	// Code is the wire rejection class ("auth_required", "auth_failed",
+	// "denied", "throttled") or empty for ordinary errors.
+	Code string
+	msg  string
+}
+
+// remoteError builds the error for a response with OK=false.
+func remoteError(resp *Response) error {
+	return &RemoteError{Code: resp.Code, msg: resp.Error}
+}
+
+// Error renders the same message shape errors always had:
+// "anonymizer: remote error: <server message>".
+func (e *RemoteError) Error() string { return ErrRemote.Error() + ": " + e.msg }
+
+// Is matches ErrRemote always, plus the sentinel for the error's code.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrRemote:
+		return true
+	case ErrAuthRequired:
+		return e.Code == CodeAuthRequired
+	case ErrAuthFailed:
+		return e.Code == CodeAuthFailed
+	case ErrDenied:
+		return e.Code == CodeDenied
+	case ErrThrottled:
+		return e.Code == CodeThrottled
+	}
+	return false
+}
+
 // call is one in-flight request: the receive loop completes it with either
 // a response or a transport error.
 type call struct {
@@ -71,6 +110,12 @@ type Client struct {
 	// WithLeaderRouting.
 	leaderMu sync.Mutex
 	leader   *Client
+
+	// authMu guards the credentials remembered by Auth, replayed when
+	// leader routing dials its second connection.
+	authMu     sync.Mutex
+	authTenant string
+	authToken  string
 
 	// stop is closed (once) when the client breaks or closes; err is set
 	// before the close and may be read after observing it.
@@ -209,7 +254,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		if c.cfg.followLeader && cl.resp.Leader != "" {
 			return c.viaLeader(req, cl.resp.Leader)
 		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, cl.resp.Error)
+		return nil, remoteError(cl.resp)
 	}
 	return cl.resp, nil
 }
@@ -226,6 +271,18 @@ func (c *Client) viaLeader(req *Request, addr string) (*Response, error) {
 		if err != nil {
 			c.leaderMu.Unlock()
 			return nil, fmt.Errorf("anonymizer: routing to leader: %w", err)
+		}
+		// The leader enforces the same trust boundary the follower does:
+		// replay this connection's credentials before the retried write.
+		c.authMu.Lock()
+		tenant, token := c.authTenant, c.authToken
+		c.authMu.Unlock()
+		if tenant != "" {
+			if err := leader.Auth(tenant, token); err != nil {
+				c.leaderMu.Unlock()
+				_ = leader.Close()
+				return nil, fmt.Errorf("anonymizer: authenticating to leader: %w", err)
+			}
 		}
 		c.leader = leader
 	}
@@ -247,6 +304,20 @@ func (c *Client) viaLeader(req *Request, addr string) (*Response, error) {
 // Ping checks server liveness.
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// Auth authenticates the connection as a tenant (shared-token credential
+// from the server's tenants file). Call it first, before any other
+// operation: on servers with authentication enabled, an unauthenticated
+// connection may issue nothing but ping and auth. Authentication is per
+// connection — a client with leader routing re-authenticates its cached
+// leader connection automatically on first use.
+func (c *Client) Auth(tenant, token string) error {
+	c.authMu.Lock()
+	c.authTenant, c.authToken = tenant, token
+	c.authMu.Unlock()
+	_, err := c.roundTrip(&Request{Op: OpAuth, Tenant: tenant, Token: token})
 	return err
 }
 

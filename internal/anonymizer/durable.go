@@ -264,6 +264,12 @@ type DurableStore struct {
 
 	snapshots atomic.Int64 // compactions performed (observable in tests)
 
+	// Observability counters behind WALStats (/metrics): records
+	// journaled and explicit WAL fsyncs (interval/explicit Sync; the
+	// group-commit rounds live in each shard's groupCommit).
+	recordsTotal atomic.Int64
+	fsyncsTotal  atomic.Int64
+
 	// replica marks the store as a replication follower: local mutations
 	// are refused with ErrNotLeader (state arrives only through
 	// IngestFrame) and the GC sweeper stays off — expiry still hides
@@ -642,6 +648,7 @@ func (s *DurableStore) writeFrameLocked(sh *durableShard, frame []byte, seq uint
 	sh.walEnd.Store(sh.walSize)
 	sh.walRecords++
 	sh.streamSeq = seq
+	s.recordsTotal.Add(1)
 	return nil
 }
 
@@ -1002,6 +1009,7 @@ func (s *DurableStore) Sync() error {
 		sh.mu.Lock()
 		var err error
 		if sh.dirty {
+			s.fsyncsTotal.Add(1)
 			if err = sh.wal.Sync(); err == nil {
 				sh.dirty = false
 			}
@@ -1012,6 +1020,37 @@ func (s *DurableStore) Sync() error {
 		}
 	}
 	return nil
+}
+
+// WALStats is the durable store's journaling counters, as exposed on
+// the admin listener's /metrics.
+type WALStats struct {
+	// Records counts mutation records journaled since open (live
+	// mutations and ingested stream frames; recovery replay not
+	// included).
+	Records int64
+	// Fsyncs counts WAL fsync calls of every kind: group-commit rounds,
+	// interval syncs, and explicit Sync calls.
+	Fsyncs int64
+	// GroupCommitRounds counts leader fsyncs of the fsync=always group
+	// commit; GroupCommitWaits counts the mutations that entered it. The
+	// ratio waits/rounds is the amortization factor group commit buys.
+	GroupCommitRounds int64
+	GroupCommitWaits  int64
+}
+
+// WALStats snapshots the journaling counters.
+func (s *DurableStore) WALStats() WALStats {
+	st := WALStats{
+		Records: s.recordsTotal.Load(),
+		Fsyncs:  s.fsyncsTotal.Load(),
+	}
+	for _, sh := range s.shards {
+		st.GroupCommitRounds += sh.gc.rounds.Load()
+		st.GroupCommitWaits += sh.gc.waits.Load()
+	}
+	st.Fsyncs += st.GroupCommitRounds
+	return st
 }
 
 // Range calls fn for every live registration (expired-but-unswept entries

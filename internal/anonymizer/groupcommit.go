@@ -37,6 +37,12 @@ type groupCommit struct {
 	// the error, because its record may be in the unsynced tail.
 	err    error
 	errSeq uint64
+
+	// rounds counts completed leader fsyncs and waits the mutations that
+	// entered the commit path — their ratio is the amortization factor
+	// exposed on /metrics.
+	rounds atomic.Int64
+	waits  atomic.Int64
 }
 
 // init prepares the condition variable; call once at shard creation.
@@ -70,6 +76,7 @@ func (g *groupCommit) noteTruncate() {
 // reports the WAL's current append end without locks, so a leader covers
 // every record fully appended before its fsync begins.
 func (g *groupCommit) wait(wal *os.File, end *atomic.Int64, off int64, epoch uint64) error {
+	g.waits.Add(1)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	seq := g.errSeq
@@ -105,6 +112,7 @@ func (g *groupCommit) wait(wal *os.File, end *atomic.Int64, off int64, epoch uin
 				}
 			}
 			err := wal.Sync()
+			g.rounds.Add(1)
 			g.mu.Lock()
 			g.syncing = false
 			if err != nil {

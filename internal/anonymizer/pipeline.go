@@ -24,9 +24,20 @@ type connJob struct {
 // expensive requests exerts backpressure on the reader instead of growing
 // memory without bound. The connection is dropped on the first decode or
 // encode error, matching the old one-request-at-a-time behavior.
+//
+// The reader is also the trust boundary's cheap stages. Auth requests
+// execute inline here — not on the worker pool — so every request decoded
+// after an auth, pipelined or not, observes the stamped principal. And the
+// tenant's rate budget is charged here (preflight), so an over-quota
+// client is shed for the price of a JSON decode, before a worker or the
+// store sees the request.
 func (s *Server) handleConn(conn net.Conn) {
+	s.metrics.connsOpen.Add(1)
+	s.metrics.connsTotal.Add(1)
+	defer s.metrics.connsOpen.Add(-1)
 	defer func() { _ = conn.Close() }()
 
+	cc := &connCtx{}
 	work := make(chan *connJob)                      // reader -> workers
 	ordered := make(chan *connJob, s.cfg.queueDepth) // reader -> writer, FIFO
 
@@ -36,7 +47,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		go func() {
 			defer workers.Done()
 			for job := range work {
-				job.resp = s.dispatch(&job.req)
+				job.resp = s.dispatch(cc, &job.req)
 				close(job.done)
 			}
 		}()
@@ -63,12 +74,28 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	dec := json.NewDecoder(conn)
+	var lastOffset int64
 	for {
 		job := &connJob{done: make(chan struct{})}
 		if err := dec.Decode(&job.req); err != nil {
 			break // EOF or garbage: drop the connection
 		}
+		reqBytes := dec.InputOffset() - lastOffset
+		lastOffset = dec.InputOffset()
+		s.metrics.bytesIn.Add(reqBytes)
 		ordered <- job // reserve the response slot first (bounded)
+		if job.req.Op == OpAuth {
+			// Inline: the principal must be visible to every later decode.
+			job.resp = s.dispatch(cc, &job.req)
+			close(job.done)
+			continue
+		}
+		if resp := s.preflight(cc, &job.req, reqBytes); resp != nil {
+			resp.V = ProtocolMajor
+			job.resp = resp
+			close(job.done)
+			continue
+		}
 		work <- job
 	}
 	close(work)

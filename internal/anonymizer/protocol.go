@@ -42,6 +42,14 @@ type Op string
 const (
 	// OpPing checks liveness.
 	OpPing Op = "ping"
+	// OpAuth authenticates the connection as a tenant (shared-token
+	// credential from the server's tenants file) and stamps the
+	// connection's principal: every later request on the connection runs
+	// under that tenant's capability grant and rate budget. On servers
+	// with authentication enabled, an unauthenticated connection may
+	// issue nothing but ping and auth. Issue it first, right after any
+	// version probing; re-authenticating switches the principal.
+	OpAuth Op = "auth"
 	// OpAnonymize registers a cloaking request: the server generates the
 	// per-level keys, cloaks, stores the registration and returns the
 	// public region.
@@ -153,6 +161,10 @@ type Request struct {
 	// e.g. "12,0,7"): the backup op then ships only the records after
 	// it, as an incremental archive.
 	Since string `json:"since,omitempty"`
+	// Auth credentials (OpAuth): the tenant name and its shared token
+	// from the server's tenants file.
+	Tenant string `json:"tenant,omitempty"`
+	Token  string `json:"token,omitempty"`
 }
 
 // Response is one protocol response.
@@ -162,6 +174,13 @@ type Response struct {
 	V     int    `json:"v,omitempty"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code is the machine-readable class of a trust-boundary rejection:
+	// "auth_required", "auth_failed", "denied" or "throttled". Ordinary
+	// errors carry no code.
+	Code string `json:"code,omitempty"`
+	// Auth: the authenticated tenant's name and capability grant.
+	Tenant string   `json:"tenant,omitempty"`
+	Caps   []string `json:"caps,omitempty"`
 	// Anonymize / GetRegion.
 	RegionID string               `json:"region_id,omitempty"`
 	Region   *cloak.CloakedRegion `json:"region,omitempty"`

@@ -53,6 +53,12 @@ type Config struct {
 	// Logf receives progress lines (bootstrap, reconnects, promotion).
 	// Nil discards them.
 	Logf func(format string, args ...any)
+	// Tenant/Token authenticate every connection the follower opens to
+	// the leader (bootstrap backup, subscribe, frame polls) when the
+	// leader runs with a tenants file. The tenant needs the operator
+	// capability. Empty Token leaves connections unauthenticated.
+	Tenant string
+	Token  string
 }
 
 // Follower replicates a leader's mutation stream into a local durable
@@ -155,7 +161,7 @@ func (f *Follower) bootstrapIfNeeded() error {
 		return fmt.Errorf("repl: probing data dir: %w", err)
 	}
 	f.logf("repl: bootstrapping %s from a hot backup of %s", f.cfg.DataDir, f.cfg.LeaderAddr)
-	c, err := anonymizer.Dial(f.cfg.LeaderAddr)
+	c, err := f.dial()
 	if err != nil {
 		return err
 	}
@@ -172,10 +178,26 @@ func (f *Follower) bootstrapIfNeeded() error {
 	return nil
 }
 
+// dial opens a connection to the leader, authenticating it when the
+// follower carries operator credentials.
+func (f *Follower) dial() (*anonymizer.Client, error) {
+	c, err := anonymizer.Dial(f.cfg.LeaderAddr)
+	if err != nil {
+		return nil, err
+	}
+	if f.cfg.Token != "" {
+		if err := c.Auth(f.cfg.Tenant, f.cfg.Token); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("repl: authenticating to %s: %w", f.cfg.LeaderAddr, err)
+		}
+	}
+	return c, nil
+}
+
 // subscribe dials the leader and performs the replication handshake,
 // pinning the follower's epoch record to the leader's epoch on success.
 func (f *Follower) subscribe() (*anonymizer.Client, *anonymizer.SubscribeInfo, error) {
-	c, err := anonymizer.Dial(f.cfg.LeaderAddr)
+	c, err := f.dial()
 	if err != nil {
 		return nil, nil, err
 	}

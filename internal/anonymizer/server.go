@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/anonymizer/tenant"
 	"github.com/reversecloak/reversecloak/internal/cloak"
 	"github.com/reversecloak/reversecloak/internal/keys"
 )
@@ -49,6 +50,7 @@ type serverConfig struct {
 	queueDepth   int
 	maxBatchSize int
 	repl         Replicator
+	tenants      *tenant.Registry
 }
 
 // WithStore installs an alternative registration backend. The default is
@@ -119,6 +121,17 @@ func WithReplicator(r Replicator) ServerOption {
 	return func(c *serverConfig) { c.repl = r }
 }
 
+// WithTenants turns on the trust boundary: connections must
+// authenticate (the auth op) as a tenant from the registry before doing
+// anything but ping, every request is checked against the tenant's
+// capability grant, and its rate budget is enforced in the connection
+// pipeline before the worker pool. The registry is owned by the caller
+// (it may be hot-reloading from a tenants file); the server does not
+// close it.
+func WithTenants(reg *tenant.Registry) ServerOption {
+	return func(c *serverConfig) { c.tenants = reg }
+}
+
 // defaultServerConfig returns the config before options are applied.
 func defaultServerConfig() serverConfig {
 	workers := runtime.GOMAXPROCS(0)
@@ -160,6 +173,10 @@ type Server struct {
 	// replFollowers is the leader's follower registry (repl_status lag).
 	replFollowers replRegistry
 
+	// metrics is the always-on operational instrumentation behind the
+	// admin listener's /metrics.
+	metrics *serverMetrics
+
 	wg sync.WaitGroup
 }
 
@@ -192,6 +209,7 @@ func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) 
 		ownedStore: owned,
 		cfg:        cfg,
 		conns:      make(map[net.Conn]struct{}),
+		metrics:    newServerMetrics(),
 	}, nil
 }
 
@@ -297,20 +315,30 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-// dispatch executes one request. Top-level responses carry the server's
-// protocol major; requests from a future major are rejected before any
-// field is interpreted (their meaning may have changed).
-func (s *Server) dispatch(req *Request) *Response {
-	resp := s.dispatchOp(req)
+// dispatch executes one request on behalf of a connection. Top-level
+// responses carry the server's protocol major; requests from a future
+// major are rejected before any field is interpreted (their meaning may
+// have changed). Every dispatched request lands in the per-op latency
+// histogram behind /metrics.
+func (s *Server) dispatch(cc *connCtx, req *Request) *Response {
+	start := time.Now()
+	resp := s.dispatchOp(cc, req)
 	resp.V = ProtocolMajor
+	s.metrics.observe(req.Op, time.Since(start), resp.OK)
 	return resp
 }
 
-// dispatchOp routes one request to its handler.
-func (s *Server) dispatchOp(req *Request) *Response {
+// dispatchOp routes one request to its handler, in gate order: protocol
+// version first (a future major's fields may mean something else),
+// then the trust boundary (an unauthenticated or unentitled caller
+// learns nothing about roles or state), then the replication role.
+func (s *Server) dispatchOp(cc *connCtx, req *Request) *Response {
 	if req.V > ProtocolMajor {
 		return fail(fmt.Errorf("%w: request major %d, server speaks %d",
 			ErrVersion, req.V, ProtocolMajor))
+	}
+	if resp := s.authorize(cc, req); resp != nil {
+		return resp
 	}
 	// Followers serve reads locally and redirect every mutation to the
 	// leader — the mutation stream has exactly one producer per epoch.
@@ -320,6 +348,8 @@ func (s *Server) dispatchOp(req *Request) *Response {
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}
+	case OpAuth:
+		return s.handleAuth(cc, req)
 	case OpAnonymize:
 		return s.handleAnonymize(req)
 	case OpGetRegion:

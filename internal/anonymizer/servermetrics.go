@@ -1,0 +1,250 @@
+package anonymizer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// serverMetrics is the server's always-on operational instrumentation:
+// per-op latency histograms and the trust-boundary counters. Everything
+// is a fixed-shape atomic — no locks, no allocation on the hot path —
+// so it stays cheap enough to leave enabled unconditionally; the admin
+// HTTP listener renders it in Prometheus text format.
+type serverMetrics struct {
+	ops   map[Op]*opMetrics
+	other *opMetrics // ops not in the table (unknown/bad requests)
+
+	connsOpen    atomic.Int64
+	connsTotal   atomic.Int64
+	bytesIn      atomic.Int64
+	authFailures atomic.Int64 // rejected auth attempts
+	authRejects  atomic.Int64 // unauthenticated/revoked requests bounced
+	denied       atomic.Int64 // capability rejections
+	throttled    atomic.Int64 // rate-limit rejections
+}
+
+// latencyBuckets are the histogram's upper bounds in seconds (+Inf is
+// implicit): 100µs to 10s, roughly ×2.5 apart — wide enough to cover a
+// ping and a full-map RPLE cloak in the same histogram.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// opMetrics is one operation's latency histogram and error counter.
+type opMetrics struct {
+	buckets  [len(latencyBuckets)]atomic.Int64 // non-cumulative; cumulated at render
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	errors   atomic.Int64
+}
+
+// observe records one executed request.
+func (m *opMetrics) observe(d time.Duration, ok bool) {
+	secs := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			m.buckets[i].Add(1)
+			break
+		}
+	}
+	m.count.Add(1)
+	m.sumNanos.Add(int64(d))
+	if !ok {
+		m.errors.Add(1)
+	}
+}
+
+// trackedOps is the closed op set the metrics table is built over.
+var trackedOps = []Op{
+	OpPing, OpAuth, OpAnonymize, OpGetRegion, OpSetTrust, OpRequestKeys,
+	OpReduce, OpAnonymizeBatch, OpReduceBatch, OpDeregister, OpBackup,
+	OpTouch, OpReplSubscribe, OpReplFrames, OpReplAck, OpReplStatus,
+	OpReplPromote,
+}
+
+// newServerMetrics builds the fixed-shape metrics table.
+func newServerMetrics() *serverMetrics {
+	m := &serverMetrics{ops: make(map[Op]*opMetrics, len(trackedOps)), other: &opMetrics{}}
+	for _, op := range trackedOps {
+		m.ops[op] = &opMetrics{}
+	}
+	return m
+}
+
+// forOp returns the op's histogram (the shared "other" slot for unknown
+// ops). The map is never written after construction, so reads are safe
+// without a lock.
+func (m *serverMetrics) forOp(op Op) *opMetrics {
+	if om, ok := m.ops[op]; ok {
+		return om
+	}
+	return m.other
+}
+
+// observe times one dispatched request into the op's histogram.
+func (m *serverMetrics) observe(op Op, d time.Duration, ok bool) {
+	m.forOp(op).observe(d, ok)
+}
+
+// writeMetrics renders the full Prometheus text exposition: server-wide
+// counters, per-op histograms, per-tenant usage, WAL/group-commit stats
+// and replication lag. It is the /metrics endpoint's body.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := s.metrics
+
+	fmt.Fprintf(w, "# HELP anonymizer_connections_open Currently open client connections.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_connections_open gauge\n")
+	fmt.Fprintf(w, "anonymizer_connections_open %d\n", m.connsOpen.Load())
+	fmt.Fprintf(w, "# HELP anonymizer_connections_total Connections accepted since start.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_connections_total counter\n")
+	fmt.Fprintf(w, "anonymizer_connections_total %d\n", m.connsTotal.Load())
+	fmt.Fprintf(w, "# HELP anonymizer_request_bytes_total Request bytes read off the wire.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_request_bytes_total counter\n")
+	fmt.Fprintf(w, "anonymizer_request_bytes_total %d\n", m.bytesIn.Load())
+	fmt.Fprintf(w, "# HELP anonymizer_registrations Live registrations in the store.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_registrations gauge\n")
+	fmt.Fprintf(w, "anonymizer_registrations %d\n", s.store.Len())
+
+	fmt.Fprintf(w, "# HELP anonymizer_auth_failures_total Rejected auth attempts.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_auth_failures_total counter\n")
+	fmt.Fprintf(w, "anonymizer_auth_failures_total %d\n", m.authFailures.Load())
+	fmt.Fprintf(w, "# HELP anonymizer_unauthenticated_rejects_total Requests bounced for missing or revoked credentials.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_unauthenticated_rejects_total counter\n")
+	fmt.Fprintf(w, "anonymizer_unauthenticated_rejects_total %d\n", m.authRejects.Load())
+	fmt.Fprintf(w, "# HELP anonymizer_denied_total Capability rejections.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_denied_total counter\n")
+	fmt.Fprintf(w, "anonymizer_denied_total %d\n", m.denied.Load())
+	fmt.Fprintf(w, "# HELP anonymizer_throttled_total Rate-limit rejections.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_throttled_total counter\n")
+	fmt.Fprintf(w, "anonymizer_throttled_total %d\n", m.throttled.Load())
+
+	// Per-op latency histograms.
+	fmt.Fprintf(w, "# HELP anonymizer_op_duration_seconds Request latency by operation.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_op_duration_seconds histogram\n")
+	for _, op := range trackedOps {
+		writeOpHistogram(w, string(op), m.ops[op])
+	}
+	writeOpHistogram(w, "other", m.other)
+	fmt.Fprintf(w, "# HELP anonymizer_op_errors_total Requests answered ok=false, by operation.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_op_errors_total counter\n")
+	for _, op := range trackedOps {
+		fmt.Fprintf(w, "anonymizer_op_errors_total{op=%q} %d\n", op, m.ops[op].errors.Load())
+	}
+	fmt.Fprintf(w, "anonymizer_op_errors_total{op=\"other\"} %d\n", m.other.errors.Load())
+
+	// Per-tenant usage.
+	if reg := s.cfg.tenants; reg != nil {
+		fmt.Fprintf(w, "# HELP anonymizer_tenant_ops_total Executed operations by tenant (batch items individually).\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_tenant_ops_total counter\n")
+		usage := reg.UsageSnapshot()
+		for _, u := range usage {
+			fmt.Fprintf(w, "anonymizer_tenant_ops_total{tenant=%q} %d\n", u.Name, u.Ops)
+		}
+		fmt.Fprintf(w, "# HELP anonymizer_tenant_bytes_total Request bytes by tenant.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_tenant_bytes_total counter\n")
+		for _, u := range usage {
+			fmt.Fprintf(w, "anonymizer_tenant_bytes_total{tenant=%q} %d\n", u.Name, u.Bytes)
+		}
+		fmt.Fprintf(w, "# HELP anonymizer_tenant_rejected_total Rejections by tenant and reason.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_tenant_rejected_total counter\n")
+		for _, u := range usage {
+			fmt.Fprintf(w, "anonymizer_tenant_rejected_total{tenant=%q,reason=\"denied\"} %d\n", u.Name, u.Denied)
+			fmt.Fprintf(w, "anonymizer_tenant_rejected_total{tenant=%q,reason=\"throttled\"} %d\n", u.Name, u.Throttled)
+		}
+	}
+
+	// Durable-store internals: WAL fsyncs, group commit, snapshots,
+	// stream position. Absent on in-memory servers.
+	if ds, ok := s.store.(*DurableStore); ok {
+		ws := ds.WALStats()
+		fmt.Fprintf(w, "# HELP anonymizer_wal_records_total Mutation records journaled.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_records_total counter\n")
+		fmt.Fprintf(w, "anonymizer_wal_records_total %d\n", ws.Records)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_fsyncs_total WAL fsync calls (all policies).\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_fsyncs_total counter\n")
+		fmt.Fprintf(w, "anonymizer_wal_fsyncs_total %d\n", ws.Fsyncs)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_group_commit_rounds_total Group-commit leader fsync rounds.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_group_commit_rounds_total counter\n")
+		fmt.Fprintf(w, "anonymizer_wal_group_commit_rounds_total %d\n", ws.GroupCommitRounds)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_group_commit_waits_total Mutations that waited on a group commit.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_group_commit_waits_total counter\n")
+		fmt.Fprintf(w, "anonymizer_wal_group_commit_waits_total %d\n", ws.GroupCommitWaits)
+		fmt.Fprintf(w, "# HELP anonymizer_snapshots_total Shard WAL compactions performed.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_snapshots_total counter\n")
+		fmt.Fprintf(w, "anonymizer_snapshots_total %d\n", ds.Snapshots())
+		fmt.Fprintf(w, "# HELP anonymizer_stream_watermark_sum Total mutation-stream records across shards.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_stream_watermark_sum gauge\n")
+		fmt.Fprintf(w, "anonymizer_stream_watermark_sum %d\n", ds.Watermark().Sum())
+		if epoch, known := ds.Epoch(); known {
+			fmt.Fprintf(w, "# HELP anonymizer_repl_epoch The node's replication epoch.\n")
+			fmt.Fprintf(w, "# TYPE anonymizer_repl_epoch gauge\n")
+			fmt.Fprintf(w, "anonymizer_repl_epoch %d\n", epoch)
+		}
+	}
+
+	// Replication lag: follower-side backlog, or the leader's view of
+	// each subscribed follower.
+	if s.cfg.repl != nil && !s.cfg.repl.IsLeader() {
+		lag, last := s.cfg.repl.Lag()
+		fmt.Fprintf(w, "# HELP anonymizer_repl_lag_frames Stream records this follower is behind the leader.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_repl_lag_frames gauge\n")
+		fmt.Fprintf(w, "anonymizer_repl_lag_frames %d\n", lag)
+		if !last.IsZero() {
+			fmt.Fprintf(w, "# HELP anonymizer_repl_last_apply_timestamp_seconds Unix time of the follower's last applied record.\n")
+			fmt.Fprintf(w, "# TYPE anonymizer_repl_last_apply_timestamp_seconds gauge\n")
+			fmt.Fprintf(w, "anonymizer_repl_last_apply_timestamp_seconds %d\n", last.Unix())
+		}
+	}
+	if s.isLeader() {
+		if ds, ok := s.store.(*DurableStore); ok {
+			followers := s.replFollowers.snapshot(ds.Watermark())
+			if len(followers) > 0 {
+				fmt.Fprintf(w, "# HELP anonymizer_repl_follower_behind Stream records each subscribed follower trails by.\n")
+				fmt.Fprintf(w, "# TYPE anonymizer_repl_follower_behind gauge\n")
+				for _, f := range followers {
+					fmt.Fprintf(w, "anonymizer_repl_follower_behind{follower=%q} %d\n", f.Addr, f.Behind)
+				}
+			}
+		}
+	}
+}
+
+// writeOpHistogram renders one op's histogram in Prometheus text format
+// (cumulative le buckets, _sum in seconds, _count).
+func writeOpHistogram(w io.Writer, op string, m *opMetrics) {
+	count := m.count.Load()
+	if count == 0 {
+		return // keep the exposition small: untouched ops emit nothing
+	}
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.buckets[i].Load()
+		fmt.Fprintf(w, "anonymizer_op_duration_seconds_bucket{op=%q,le=%q} %d\n",
+			op, formatBound(ub), cum)
+	}
+	fmt.Fprintf(w, "anonymizer_op_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, count)
+	fmt.Fprintf(w, "anonymizer_op_duration_seconds_sum{op=%q} %g\n",
+		op, float64(m.sumNanos.Load())/float64(time.Second))
+	fmt.Fprintf(w, "anonymizer_op_duration_seconds_count{op=%q} %d\n", op, count)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest decimal form).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedOps is a helper for tests: the tracked op names, sorted.
+func sortedOps() []string {
+	out := make([]string, len(trackedOps))
+	for i, op := range trackedOps {
+		out[i] = string(op)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/anonymizer/tenant"
 )
 
 // The golden transcripts under testdata/protocol pin the v1 wire encoding
@@ -156,8 +158,11 @@ func replayTranscript(t *testing.T, addr, file string) {
 // TestWireGoldenTranscripts replays every testdata/protocol transcript
 // against a live server, one fresh connection per file. Files named
 // repl_*.ndjson run against a DURABLE server (two shards, no traffic),
-// since the replication ops require a store with a mutation stream; all
-// others run against the default in-memory server.
+// since the replication ops require a store with a mutation stream;
+// files named auth_*.ndjson run against a TENANT-ENABLED server loaded
+// from testdata/protocol/tenants.json (the auth op is a bad operation
+// everywhere else); all others run against the default in-memory
+// server.
 func TestWireGoldenTranscripts(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "protocol", "*.ndjson"))
 	if err != nil {
@@ -171,11 +176,24 @@ func TestWireGoldenTranscripts(t *testing.T) {
 	durableSrv := newTestServer(t, g, density,
 		WithStore(openDurable(t, t.TempDir(), WithDurableShards(2))))
 	durableAddr := startTestServer(t, durableSrv)
+	raw, err := os.ReadFile(filepath.Join("testdata", "protocol", "tenants.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := tenant.FromJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenantSrv := newTestServer(t, g, density, WithTenants(reg))
+	tenantAddr := startTestServer(t, tenantSrv)
 	for _, file := range files {
 		file := file
 		target := addr
-		if strings.HasPrefix(filepath.Base(file), "repl_") {
+		switch {
+		case strings.HasPrefix(filepath.Base(file), "repl_"):
 			target = durableAddr
+		case strings.HasPrefix(filepath.Base(file), "auth_"):
+			target = tenantAddr
 		}
 		t.Run(filepath.Base(file), func(t *testing.T) {
 			replayTranscript(t, target, file)

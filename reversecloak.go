@@ -43,6 +43,7 @@ import (
 
 	"github.com/reversecloak/reversecloak/internal/anonymizer"
 	"github.com/reversecloak/reversecloak/internal/anonymizer/repl"
+	"github.com/reversecloak/reversecloak/internal/anonymizer/tenant"
 	"github.com/reversecloak/reversecloak/internal/cloak"
 	"github.com/reversecloak/reversecloak/internal/geom"
 	"github.com/reversecloak/reversecloak/internal/keys"
@@ -162,6 +163,24 @@ type (
 	ReduceResult = anonymizer.ReduceResult
 	// ClientOption customizes a Client (leader routing).
 	ClientOption = anonymizer.ClientOption
+	// RemoteError is the concrete error behind ErrRemote: it carries the
+	// server's machine-readable rejection code (auth_required,
+	// auth_failed, denied, throttled) alongside the message.
+	RemoteError = anonymizer.RemoteError
+)
+
+// Multi-tenant trust-boundary types.
+type (
+	// TenantRegistry is the hot-reloadable tenant table loaded from a
+	// tenants file: authentication, capability grants, rate limits and
+	// usage accounting. Install into a server with WithTenants.
+	TenantRegistry = tenant.Registry
+	// Tenant is one authenticated principal's grants and limits.
+	Tenant = tenant.Tenant
+	// TenantUsage is one tenant's usage counters in a usage snapshot.
+	TenantUsage = tenant.TenantUsage
+	// AdminConfig tunes the admin HTTP handler (readiness lag bound).
+	AdminConfig = anonymizer.AdminConfig
 )
 
 // Replication and stream types.
@@ -245,6 +264,9 @@ const (
 	// ProtocolMajor is the wire protocol's major version; servers reject
 	// requests from a future major.
 	ProtocolMajor = anonymizer.ProtocolMajor
+	// DefaultReadyMaxLag is the follower backlog (in stream records)
+	// beyond which the admin listener's /readyz turns unready.
+	DefaultReadyMaxLag = anonymizer.DefaultReadyMaxLag
 )
 
 // Re-exported sentinel errors for errors.Is checks at the API boundary.
@@ -281,6 +303,18 @@ var (
 	// most importantly a stale leader trying to rejoin after a failover
 	// without re-bootstrapping.
 	ErrFenced = anonymizer.ErrFenced
+	// ErrAuthRequired reports an operation attempted on a tenant-enabled
+	// server before a successful auth.
+	ErrAuthRequired = anonymizer.ErrAuthRequired
+	// ErrAuthFailed reports rejected credentials (bad tenant or token,
+	// or a tenant revoked since the connection authenticated).
+	ErrAuthFailed = anonymizer.ErrAuthFailed
+	// ErrDenied reports an operation the authenticated tenant lacks the
+	// capability for (including reductions below its floor).
+	ErrDenied = anonymizer.ErrDenied
+	// ErrThrottled reports an operation shed by the tenant's rate limit;
+	// the client should back off and retry.
+	ErrThrottled = anonymizer.ErrThrottled
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -498,6 +532,23 @@ func WithReplicator(r Replicator) ServerOption { return anonymizer.WithReplicato
 // leader's mutation stream. Plug the result into a server with
 // WithStore(f.Store()) and WithReplicator(f).
 func StartFollower(cfg FollowerConfig) (*Follower, error) { return repl.Start(cfg) }
+
+// LoadTenants reads a tenants file into a hot-reloadable registry.
+// Install it into a server with WithTenants; call Watch to pick up file
+// edits, and Close when done. The registry is caller-owned: the server
+// never closes it, so one registry can back several servers.
+func LoadTenants(path string) (*TenantRegistry, error) { return tenant.Load(path) }
+
+// TenantsFromJSON builds a fixed (non-reloadable) tenant registry from
+// raw tenants-file JSON — tests and embedded configurations.
+func TenantsFromJSON(raw []byte) (*TenantRegistry, error) { return tenant.FromJSON(raw) }
+
+// WithTenants enables authentication on a server: connections must
+// present tenant credentials via Client.Auth before any operation
+// beyond ping, and every operation is checked against the tenant's
+// capabilities and charged against its rate budget. Without this
+// option the server is open, exactly as before.
+func WithTenants(reg *TenantRegistry) ServerOption { return anonymizer.WithTenants(reg) }
 
 // DialServer connects to a trusted anonymization server. Options tune
 // the client (e.g. WithLeaderRouting to follow write redirects from a

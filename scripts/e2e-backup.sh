@@ -15,8 +15,13 @@ WORK="$(mktemp -d "${TMPDIR:-/tmp}/rc-e2e.XXXXXX")"
 SERVE_PID=""
 
 cleanup() {
+    status=$?
     [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
     [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    if [ "$status" -ne 0 ] && [ -n "${E2E_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$E2E_ARTIFACT_DIR"
+        cp "$WORK"/*.log "$WORK"/*.dump "$E2E_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
     rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM

@@ -18,17 +18,24 @@ set -eu
 
 PORT="${E2E_PORT:-7310}"
 FPORT="${E2E_FOLLOWER_PORT:-7311}"
+APORT="${E2E_ADMIN_PORT:-7315}"
 ADDR="127.0.0.1:$PORT"
 FADDR="127.0.0.1:$FPORT"
+ADMIN="127.0.0.1:$APORT"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/rc-e2e-repl.XXXXXX")"
 LEADER_PID=""
 FOLLOWER_PID=""
 
 cleanup() {
+    status=$?
     [ -n "$LEADER_PID" ] && kill "$LEADER_PID" 2>/dev/null || true
     [ -n "$FOLLOWER_PID" ] && kill "$FOLLOWER_PID" 2>/dev/null || true
     [ -n "$LEADER_PID" ] && wait "$LEADER_PID" 2>/dev/null || true
     [ -n "$FOLLOWER_PID" ] && wait "$FOLLOWER_PID" 2>/dev/null || true
+    if [ "$status" -ne 0 ] && [ -n "${E2E_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$E2E_ARTIFACT_DIR"
+        cp "$WORK"/*.log "$WORK"/*.dump "$WORK"/*.txt "$E2E_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
     rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
@@ -52,8 +59,9 @@ watermark() {
 echo "== build"
 go build -o "$WORK/anonymizer" ./cmd/anonymizer
 
-echo "== serve leader (durable store at $WORK/d-leader)"
+echo "== serve leader (durable store at $WORK/d-leader, admin plane on $ADMIN)"
 "$WORK/anonymizer" serve -addr "$ADDR" -data-dir "$WORK/d-leader" -ttl 0 \
+    -admin-addr "$ADMIN" \
     >"$WORK/leader.log" 2>&1 &
 LEADER_PID=$!
 await_ready "$ADDR" "$WORK/leader.log"
@@ -92,6 +100,17 @@ done
 [ -n "$caught" ] || { echo "FAIL: follower never caught up (leader $LWM, follower $FWM)"; \
     cat "$WORK/follower.log"; exit 1; }
 "$WORK/anonymizer" status -addr "$FADDR"
+
+echo "== metrics smoke: the leader's admin plane sees the WAL and its follower"
+curl -fsS "http://$ADMIN/healthz" >/dev/null || { echo "FAIL: healthz"; exit 1; }
+curl -fsS "http://$ADMIN/readyz" >/dev/null || { echo "FAIL: readyz"; exit 1; }
+curl -fsS "http://$ADMIN/metrics" >"$WORK/metrics.txt"
+grep -v '^#' "$WORK/metrics.txt" | grep -q '^anonymizer_wal_records_total [1-9]' || {
+    echo "FAIL: no WAL records in /metrics"; exit 1; }
+grep -v '^#' "$WORK/metrics.txt" | grep -q '^anonymizer_wal_fsyncs_total [1-9]' || {
+    echo "FAIL: no WAL fsyncs in /metrics"; exit 1; }
+grep -v '^#' "$WORK/metrics.txt" | grep -q '^anonymizer_repl_follower_behind' || {
+    echo "FAIL: caught-up follower missing from the lag gauge"; exit 1; }
 
 echo "== incremental backup since $WM, applied over the full restore"
 "$WORK/anonymizer" backup -addr "$ADDR" -since "$WM" -out "$WORK/delta.rca"
