@@ -53,11 +53,14 @@ govulncheck:
 bench-smoke:
 	$(GO) run ./cmd/reversecloak-bench -only E17,E18 -trials 2 -junctions 400 -segments 540
 
-# Short native-fuzz pass over the WAL and backup-archive decoders (the
-# CI fuzz-smoke step): corrupt input must never panic or over-read.
+# Short native-fuzz pass over the byte-facing decoders (the CI
+# fuzz-smoke step): corrupt input must never panic or over-read, and
+# the JSON and binary wire codecs must decode identically.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWALRecord$$' -fuzztime 15s ./internal/anonymizer
 	$(GO) test -run '^$$' -fuzz '^FuzzReadArchive$$' -fuzztime 15s ./internal/anonymizer
+	$(GO) test -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime 15s ./internal/anonymizer
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBinaryFrame$$' -fuzztime 15s ./internal/anonymizer
 
 # End-to-end data-dir lifecycle: serve -> loadgen -> hot backup ->
 # restore -> reshard -> byte-identical dumps (the CI e2e-backup job).

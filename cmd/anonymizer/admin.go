@@ -40,8 +40,12 @@ func runBackup(argv []string) error {
 		since   = fs.String("since", "", `ship only stream records after this watermark (e.g. "12,0,7"), as an incremental archive`)
 		tenant  = fs.String("tenant", "", "authenticate to the server as this tenant (operator capability)")
 		token   = fs.String("token", "", "tenant token for -tenant")
+		codec   = fs.String("codec", "auto", "wire codec for -addr: auto, json or binary")
 	)
 	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if err := setWireCodec(*codec); err != nil {
 		return err
 	}
 	if (*addr == "") == (*dataDir == "") {

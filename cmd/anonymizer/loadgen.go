@@ -35,8 +35,12 @@ func runLoadgen(argv []string) error {
 				"unknown-region responses count as stale reads (replication lag)")
 		tenantName = fs.String("tenant", "", "authenticate every connection as this tenant")
 		token      = fs.String("token", "", "tenant token for -tenant")
+		codec      = fs.String("codec", "auto", "wire codec: auto, json or binary")
 	)
 	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if err := setWireCodec(*codec); err != nil {
 		return err
 	}
 	counts, err := parseInts(*sweep)
@@ -106,9 +110,25 @@ func runLoadgen(argv []string) error {
 	return nil
 }
 
-// dialAuthed dials the server and authenticates when credentials are set.
+// wireCodec is the codec selected by the running subcommand's -codec
+// flag (auto when the subcommand has none); dialAuthed applies it to
+// every connection it opens.
+var wireCodec = rc.CodecAuto
+
+// setWireCodec parses a -codec flag value into wireCodec.
+func setWireCodec(s string) error {
+	c, err := rc.ParseCodec(s)
+	if err != nil {
+		return err
+	}
+	wireCodec = c
+	return nil
+}
+
+// dialAuthed dials the server (in the selected wire codec) and
+// authenticates when credentials are set.
 func dialAuthed(addr, tenant, token string) (*rc.Client, error) {
-	c, err := rc.DialServer(addr)
+	c, err := rc.DialServer(addr, rc.WithCodec(wireCodec))
 	if err != nil {
 		return nil, err
 	}

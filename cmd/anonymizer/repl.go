@@ -28,8 +28,12 @@ func runPromote(argv []string) error {
 		dataDir = fs.String("data-dir", "", "promote this (stopped) follower data directory offline")
 		tenant  = fs.String("tenant", "", "authenticate to the server as this tenant (operator capability)")
 		token   = fs.String("token", "", "tenant token for -tenant")
+		codec   = fs.String("codec", "auto", "wire codec for -addr: auto, json or binary")
 	)
 	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if err := setWireCodec(*codec); err != nil {
 		return err
 	}
 	if (*addr == "") == (*dataDir == "") {
@@ -74,7 +78,11 @@ func runStatus(argv []string) error {
 	addr := fs.String("addr", "127.0.0.1:7080", "server address")
 	tenant := fs.String("tenant", "", "authenticate to the server as this tenant (operator capability)")
 	token := fs.String("token", "", "tenant token for -tenant")
+	codec := fs.String("codec", "auto", "wire codec: auto, json or binary")
 	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if err := setWireCodec(*codec); err != nil {
 		return err
 	}
 	c, err := dialAuthed(*addr, *tenant, *token)

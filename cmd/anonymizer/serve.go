@@ -50,6 +50,8 @@ func runServe(argv []string) error {
 			"tenant name this follower authenticates to the leader as (with -repl-token)")
 		replToken = fs.String("repl-token", "",
 			"tenant token for -repl-tenant; needed when the leader runs with -tenants")
+		replCodec = fs.String("codec", "auto",
+			"wire codec for the replication connections to the leader: auto, json or binary")
 
 		ttl = fs.Duration("ttl", rc.DefaultRegistrationTTL,
 			"registration lifetime before the expiry sweeper reclaims it (0 = live until deregistered)")
@@ -129,12 +131,17 @@ func runServe(argv []string) error {
 		if *snapInterval > 0 {
 			durOpts = append(durOpts, rc.WithSnapshotInterval(*snapInterval))
 		}
+		upstreamCodec, err := rc.ParseCodec(*replCodec)
+		if err != nil {
+			return err
+		}
 		f, err := rc.StartFollower(rc.FollowerConfig{
 			LeaderAddr:   *replicateFrom,
 			DataDir:      *dataDir,
 			Advertise:    *advertise,
 			Tenant:       *replTenant,
 			Token:        *replToken,
+			Codec:        upstreamCodec,
 			StoreOptions: durOpts,
 			Logf: func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)

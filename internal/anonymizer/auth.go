@@ -191,7 +191,10 @@ func (s *Server) handleAuth(cc *connCtx, req *Request) *Response {
 		return failCode(CodeAuthFailed, fmt.Errorf("%w: bad tenant or token", ErrAuthFailed))
 	}
 	cc.principal.Store(&principal{name: t.Name})
-	return &Response{OK: true, Tenant: t.Name, Caps: t.CapList()}
+	resp := newResp(true)
+	resp.Tenant = t.Name
+	resp.Caps = t.CapList()
+	return resp
 }
 
 // preflight is the pipeline's cheap shedding point: it charges the

@@ -40,42 +40,85 @@ func benchProfile() profile.Profile {
 	return profile.Profile{Levels: []profile.Level{{K: 8, L: 4}}}
 }
 
-// BenchmarkServerThroughput sweeps the number of concurrent clients, each
-// on its own connection, and reports req/s. Comparing clients=1 against
-// clients=16 shows how far the sharded store + per-connection pipelines
-// scale past single-lock serialization.
+// BenchmarkServerThroughput sweeps the wire codec and the number of
+// concurrent clients, each on its own connection, and reports req/s and
+// allocs/op (client and server share the process, so allocs/op covers
+// the whole hot path — scripts/check-allocs.sh gates it against
+// testdata/alloc_baseline.json). Comparing clients=1 against clients=16
+// shows how far the sharded store + per-connection pipelines scale past
+// single-lock serialization; comparing codec=json against codec=binary
+// shows what the pooled binary framing saves.
 func BenchmarkServerThroughput(b *testing.B) {
-	for _, clients := range []int{1, 4, 16, 64} {
-		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, clients := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("codec=%s/clients=%d", codec, clients), func(b *testing.B) {
+				addr, g := benchServer(b)
+				conns := make([]*Client, clients)
+				for i := range conns {
+					c, err := Dial(addr, WithCodec(codec))
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer func() { _ = c.Close() }()
+					conns[i] = c
+				}
+				numSeg := g.NumSegments()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < clients; w++ {
+					ops := b.N / clients
+					if w < b.N%clients {
+						ops++
+					}
+					wg.Add(1)
+					go func(c *Client, w, ops int) {
+						defer wg.Done()
+						for i := 0; i < ops; i++ {
+							user := roadnet.SegmentID((w*131 + i*17) % numSeg)
+							// Cloak failures still exercise the full stack.
+							_, _, _ = c.Anonymize(user, benchProfile(), "RGE")
+						}
+					}(conns[w], w, ops)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "req/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReduceServerSide measures the read fast path: a stranger's
+// reduce peels nothing, so the server answers with the registered
+// region as-is (zero-copy since protocol v2 landed) and the codec is
+// most of the per-request cost.
+func BenchmarkReduceServerSide(b *testing.B) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		b.Run(fmt.Sprintf("codec=%s", codec), func(b *testing.B) {
 			addr, g := benchServer(b)
-			conns := make([]*Client, clients)
-			for i := range conns {
-				c, err := Dial(addr)
-				if err != nil {
+			c, err := Dial(addr, WithCodec(codec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = c.Close() }()
+			numSeg := g.NumSegments()
+			var regionID string
+			for u := 0; u < numSeg && regionID == ""; u++ {
+				regionID, _, _ = c.Anonymize(roadnet.SegmentID(u), benchProfile(), "RGE")
+			}
+			if regionID == "" {
+				b.Fatal("no feasible cloak on the bench grid")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.Reduce(regionID, "stranger", 0); err != nil {
 					b.Fatal(err)
 				}
-				defer func() { _ = c.Close() }()
-				conns[i] = c
 			}
-			numSeg := g.NumSegments()
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for w := 0; w < clients; w++ {
-				ops := b.N / clients
-				if w < b.N%clients {
-					ops++
-				}
-				wg.Add(1)
-				go func(c *Client, w, ops int) {
-					defer wg.Done()
-					for i := 0; i < ops; i++ {
-						user := roadnet.SegmentID((w*131 + i*17) % numSeg)
-						// Cloak failures still exercise the full stack.
-						_, _, _ = c.Anonymize(user, benchProfile(), "RGE")
-					}
-				}(conns[w], w, ops)
-			}
-			wg.Wait()
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(b.N)/secs, "req/s")

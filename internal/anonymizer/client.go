@@ -1,6 +1,7 @@
 package anonymizer
 
 import (
+	"bufio"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -63,11 +64,29 @@ func (e *RemoteError) Is(target error) bool {
 }
 
 // call is one in-flight request: the receive loop completes it with either
-// a response or a transport error.
+// a response or a transport error, then sends one token on done.
 type call struct {
 	resp *Response
 	err  error
 	done chan struct{}
+}
+
+// callPool recycles call slots across requests. The done channel
+// (buffered, capacity 1) survives recycling: the receive loop sends
+// exactly one token per call and the round-tripper consumes it before
+// the slot is pooled, so a recycled channel is always empty. A call
+// abandoned mid-flight (client broke before its token arrived) is never
+// recycled — the receive loop may still touch it.
+var callPool = sync.Pool{
+	New: func() any { return &call{done: make(chan struct{}, 1)} },
+}
+
+func getCall() *call { return callPool.Get().(*call) }
+
+func putCall(cl *call) {
+	cl.resp = nil
+	cl.err = nil
+	callPool.Put(cl)
 }
 
 // ClientOption customizes a Client.
@@ -76,6 +95,17 @@ type ClientOption func(*clientConfig)
 // clientConfig collects the client tunables.
 type clientConfig struct {
 	followLeader bool
+	codec        Codec
+}
+
+// WithCodec selects the client's wire codec. The default, CodecAuto,
+// negotiates binary framing (protocol v2) at dial time and falls back to
+// JSON v1 transparently when the server predates it; CodecJSON skips
+// negotiation entirely; CodecBinary makes Dial fail instead of falling
+// back. The choice is per connection — a leader connection dialed by
+// WithLeaderRouting inherits it.
+func WithCodec(c Codec) ClientOption {
+	return func(cfg *clientConfig) { cfg.codec = c }
 }
 
 // WithLeaderRouting makes the client follower-aware: a write refused by
@@ -101,6 +131,18 @@ type Client struct {
 
 	sendMu sync.Mutex // serializes enqueue + encode so wire order == queue order
 	enc    *json.Encoder
+	// Binary framing state (nil/zero on JSON connections): the buffered
+	// frame writer, its encode scratch (both guarded by sendMu), and the
+	// receive-side reader consumed only by recvLoop.
+	bw      *bufio.Writer
+	sendBuf []byte
+	recvR   *bufio.Reader
+	// major is the protocol major stamped on every request: 1 on JSON
+	// connections, 2 after a successful binary negotiation.
+	major int
+	// recvLeftover carries bytes the negotiation decoder read past the
+	// server's reply on a JSON fallback; recvLoop must consume them first.
+	recvLeftover io.Reader
 
 	// pending carries calls to the receive loop in wire order; its capacity
 	// bounds the pipelining window.
@@ -127,7 +169,9 @@ type Client struct {
 // maxPipelined bounds the client-side in-flight window per connection.
 const maxPipelined = 256
 
-// Dial connects to a server address.
+// Dial connects to a server address. Unless WithCodec says otherwise it
+// negotiates binary framing (one extra round-trip inside Dial) and falls
+// back to JSON v1 when the server does not speak v2.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	var cfg clientConfig
 	for _, opt := range opts {
@@ -140,17 +184,77 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	c := &Client{
 		conn:    conn,
 		cfg:     cfg,
-		enc:     json.NewEncoder(conn),
+		major:   ProtocolMajor,
 		pending: make(chan *call, maxPipelined),
 		stop:    make(chan struct{}),
+	}
+	if cfg.codec != CodecJSON {
+		binary, leftover, err := negotiateBinary(conn)
+		if err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		if binary {
+			c.major = ProtocolBinaryMajor
+			c.bw = bufio.NewWriter(conn)
+			c.recvR = leftover
+		} else if cfg.codec == CodecBinary {
+			_ = conn.Close()
+			return nil, fmt.Errorf("anonymizer: dial %s: server does not speak the binary protocol (v%d)",
+				addr, ProtocolBinaryMajor)
+		} else {
+			c.recvLeftover = leftover
+		}
+	}
+	if c.bw == nil {
+		c.enc = json.NewEncoder(conn)
 	}
 	go c.recvLoop()
 	return c, nil
 }
 
+// negotiateBinary performs the binary upgrade handshake on a fresh
+// connection: send {"v":2,"op":"ping"}, read the JSON reply. An OK reply
+// stamped v>=2 commits both directions to binary framing, and the
+// returned reader is positioned on the first frame byte; any rejection
+// (a v1 server answers its in-band version error) means the connection
+// simply stays JSON, with the decoder's read-ahead handed back so no
+// pipelined bytes are lost. The handshake runs under a deadline so a
+// wedged server fails the Dial instead of hanging it.
+func negotiateBinary(conn net.Conn) (ok bool, leftover *bufio.Reader, err error) {
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Request{V: ProtocolBinaryMajor, Op: OpPing}); err != nil {
+		return false, nil, fmt.Errorf("anonymizer: negotiating codec: %w", err)
+	}
+	dec := json.NewDecoder(conn)
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		return false, nil, fmt.Errorf("anonymizer: negotiating codec: %w", err)
+	}
+	rest := bufio.NewReader(io.MultiReader(dec.Buffered(), conn))
+	if !resp.OK || resp.V < ProtocolBinaryMajor {
+		return false, rest, nil
+	}
+	// The acknowledgment line ends in a newline; frames start after it.
+	if err := skipUpgradeNewline(rest); err != nil {
+		return false, nil, fmt.Errorf("anonymizer: negotiating codec: %w", err)
+	}
+	return true, rest, nil
+}
+
 // recvLoop reads responses in order and completes the pending calls.
 func (c *Client) recvLoop() {
-	dec := json.NewDecoder(c.conn)
+	var dec *json.Decoder
+	var recvBuf []byte
+	if c.recvR == nil {
+		src := io.Reader(c.conn)
+		if c.recvLeftover != nil {
+			src = io.MultiReader(c.recvLeftover, c.conn)
+		}
+		dec = json.NewDecoder(src)
+	}
 	for {
 		var cl *call
 		select {
@@ -159,22 +263,35 @@ func (c *Client) recvLoop() {
 			return
 		}
 		var resp Response
-		if err := dec.Decode(&resp); err != nil {
+		var err error
+		if dec != nil {
+			err = dec.Decode(&resp)
+		} else {
+			var payload []byte
+			if payload, err = readWireFrame(c.recvR, recvBuf[:0]); err == nil {
+				err = decodeResponse(payload, &resp)
+				recvBuf = trimWireBuf(payload)
+			}
+		}
+		if err != nil {
 			select {
 			case <-c.stop:
 				// Close/fail won the race and broke the connection under
 				// us: report the sticky error (e.g. ErrClientClosed), not
 				// the secondary net-closed decode error.
-				cl.err = c.err
+				err = c.err
 			default:
-				cl.err = fmt.Errorf("anonymizer: receive: %w", err)
+				err = fmt.Errorf("anonymizer: receive: %w", err)
 			}
-			close(cl.done)
-			c.fail(cl.err)
+			// The call may be recycled the moment its token lands; the
+			// local err stays valid for fail below.
+			cl.err = err
+			cl.done <- struct{}{}
+			c.fail(err)
 			return
 		}
 		cl.resp = &resp
-		close(cl.done)
+		cl.done <- struct{}{}
 	}
 }
 
@@ -204,28 +321,50 @@ func (c *Client) Close() error {
 
 // send encodes one request and registers its call slot, preserving the
 // send order / pending order correspondence the wire protocol relies on.
-// Every request is stamped with the client's protocol major.
+// Every request is stamped with the connection's negotiated protocol
+// major.
 func (c *Client) send(req *Request) (*call, error) {
-	req.V = ProtocolMajor
-	cl := &call{done: make(chan struct{})}
+	req.V = c.major
+	cl := getCall()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	select {
 	case <-c.stop:
+		putCall(cl) // never enqueued: ours alone, safe to recycle
 		return nil, c.err
 	default:
 	}
 	select {
 	case c.pending <- cl: // may block when the window is full
 	case <-c.stop:
+		putCall(cl) // the enqueue lost to stop: still ours alone
 		return nil, c.err
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.encode(req); err != nil {
 		err = fmt.Errorf("anonymizer: send: %w", err)
 		c.fail(err)
 		return nil, err
 	}
 	return cl, nil
+}
+
+// encode writes one request in the connection's codec. Callers hold
+// sendMu, which also guards the binary scratch buffer.
+func (c *Client) encode(req *Request) error {
+	if c.bw == nil {
+		return c.enc.Encode(req)
+	}
+	framed, err := appendWireFrame(c.sendBuf[:0], func(b []byte) []byte {
+		return appendRequest(b, req)
+	})
+	if err != nil {
+		return err
+	}
+	c.sendBuf = trimWireBuf(framed)
+	if _, err := c.bw.Write(framed); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // roundTrip sends one request and waits for its response. With leader
@@ -244,19 +383,23 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		select {
 		case <-cl.done:
 		default:
+			// No token: the receive loop still owns the call, so it
+			// cannot be recycled.
 			return nil, c.err
 		}
 	}
-	if cl.err != nil {
-		return nil, cl.err
+	resp, rerr := cl.resp, cl.err
+	putCall(cl)
+	if rerr != nil {
+		return nil, rerr
 	}
-	if !cl.resp.OK {
-		if c.cfg.followLeader && cl.resp.Leader != "" {
-			return c.viaLeader(req, cl.resp.Leader)
+	if !resp.OK {
+		if c.cfg.followLeader && resp.Leader != "" {
+			return c.viaLeader(req, resp.Leader)
 		}
-		return nil, remoteError(cl.resp)
+		return nil, remoteError(resp)
 	}
-	return cl.resp, nil
+	return resp, nil
 }
 
 // viaLeader re-issues a follower-refused request against the leader,
@@ -267,7 +410,9 @@ func (c *Client) viaLeader(req *Request, addr string) (*Response, error) {
 	leader := c.leader
 	if leader == nil {
 		var err error
-		leader, err = Dial(addr)
+		// The leader connection inherits the codec choice but not the
+		// routing option (the cached connection must never redirect).
+		leader, err = Dial(addr, WithCodec(c.cfg.codec))
 		if err != nil {
 			c.leaderMu.Unlock()
 			return nil, fmt.Errorf("anonymizer: routing to leader: %w", err)

@@ -1,0 +1,195 @@
+package anonymizer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// This file is the binary protocol's (v2) frame layer and the codec
+// selection surface shared by client and server. Framing reuses the WAL's
+// proven shape: an 8-byte header of little-endian payload length and
+// CRC-32C (Castagnoli), then the payload. One frame carries exactly one
+// Request or Response, encoded by codec_binary.go. docs/PROTOCOL.md
+// ("Binary framing (v2)") is the authoritative specification.
+//
+// A connection always starts in JSON v1. A client that wants binary
+// framing sends {"v":2,"op":"ping"} as its first request; a v2 server
+// answers {"v":2,"ok":true} in JSON — both lines newline-terminated —
+// and every byte after the two newlines is binary frames, in both
+// directions. A v1 server instead rejects the version in-band and the
+// connection simply stays JSON, which is the transparent fallback path.
+
+// Codec selects a client's wire encoding.
+type Codec int
+
+const (
+	// CodecAuto negotiates binary framing and falls back to JSON v1 when
+	// the server does not speak it. The default.
+	CodecAuto Codec = iota
+	// CodecJSON forces newline-delimited JSON (protocol v1).
+	CodecJSON
+	// CodecBinary requires binary framing (protocol v2): dialing a server
+	// that does not speak it fails instead of falling back.
+	CodecBinary
+)
+
+// String renders the codec the way the CLI -codec flags spell it.
+func (c Codec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecBinary:
+		return "binary"
+	default:
+		return "auto"
+	}
+}
+
+// ParseCodec parses a -codec flag value: "auto", "json" or "binary".
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "auto":
+		return CodecAuto, nil
+	case "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	}
+	return CodecAuto, fmt.Errorf("anonymizer: unknown codec %q (want auto, json or binary)", s)
+}
+
+// wireHeaderSize is the binary frame prefix: length + CRC, same shape as
+// the WAL's record framing.
+const wireHeaderSize = 8
+
+// maxWireFrame bounds one frame's payload (1 GiB). Backup archives ride
+// in a single response frame, so the bound is generous; a corrupt or
+// hostile length field still cannot demand more than this, and the
+// incremental growth in readWireFrame keeps even an in-bounds forged
+// length from allocating ahead of the bytes actually received.
+const maxWireFrame = 1 << 30
+
+// wireReadChunk is the growth step for frame payload reads: allocation
+// tracks bytes received instead of trusting the claimed length.
+const wireReadChunk = 1 << 20
+
+// maxPooledWireBuf caps the capacity of buffers kept in wireBufPool (and
+// of per-connection scratch buffers between requests), so one backup
+// response does not pin megabytes on every idle connection.
+const maxPooledWireBuf = 1 << 20
+
+// wireBufPool recycles frame encode/decode scratch across connections:
+// a closing connection donates its warm buffer to the next one.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getWireBuf() *[]byte { return wireBufPool.Get().(*[]byte) }
+
+func putWireBuf(p *[]byte) {
+	if p == nil || cap(*p) > maxPooledWireBuf {
+		return
+	}
+	*p = (*p)[:0]
+	wireBufPool.Put(p)
+}
+
+// trimWireBuf drops oversized scratch (a backup response's worth) so the
+// steady state keeps only request-sized capacity.
+func trimWireBuf(b []byte) []byte {
+	if cap(b) > maxPooledWireBuf {
+		return nil
+	}
+	return b[:0]
+}
+
+// appendWireFrame appends one framed message to buf: encode writes the
+// payload (appending to its argument), and the 8-byte length+CRC header
+// is fixed up around it, so the payload is produced in place with no
+// second copy.
+func appendWireFrame(buf []byte, encode func([]byte) []byte) ([]byte, error) {
+	base := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = encode(buf)
+	payload := buf[base+wireHeaderSize:]
+	if len(payload) > maxWireFrame {
+		return nil, fmt.Errorf("anonymizer: frame payload %d exceeds limit %d",
+			len(payload), maxWireFrame)
+	}
+	binary.LittleEndian.PutUint32(buf[base:base+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[base+4:base+8], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// readWireFrame reads one frame and returns its CRC-verified payload,
+// reusing buf's capacity. The payload grows by bounded chunks as bytes
+// arrive, so a forged length cannot allocate more than roughly twice the
+// data actually received.
+func readWireFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [wireHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("anonymizer: frame length %d exceeds limit %d", n, maxWireFrame)
+	}
+	payload := buf[:0]
+	for remaining := int(n); remaining > 0; {
+		step := remaining
+		if step > wireReadChunk {
+			step = wireReadChunk
+		}
+		off := len(payload)
+		if cap(payload) < off+step {
+			newCap := 2 * cap(payload)
+			if newCap < off+step {
+				newCap = off + step
+			}
+			grown := make([]byte, off, newCap)
+			copy(grown, payload)
+			payload = grown
+		}
+		payload = payload[:off+step]
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		remaining -= step
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, fmt.Errorf("anonymizer: frame CRC mismatch: header %08x, payload %08x", sum, got)
+	}
+	return payload, nil
+}
+
+// skipUpgradeNewline consumes the newline terminating the JSON half of
+// the binary upgrade (plus any \r or spaces a hand-rolled client left
+// before it). The first binary frame begins at the next byte. Any other
+// byte before the newline is a framing violation.
+func skipUpgradeNewline(br *bufio.Reader) error {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case '\n':
+			return nil
+		case ' ', '\t', '\r':
+			// tolerated line padding
+		default:
+			return fmt.Errorf("anonymizer: unexpected byte 0x%02x before binary frames", b)
+		}
+	}
+}

@@ -483,8 +483,9 @@ func TestProtocolVersionNegotiation(t *testing.T) {
 		t.Fatalf("unversioned ping rejected: %v", resp)
 	}
 
-	// Future major: rejected in-band, connection stays usable.
-	resp = roundTrip(map[string]any{"op": "ping", "v": ProtocolMajor + 1})
+	// Future major: rejected in-band, connection stays usable. (Major 2 is
+	// the binary-framing upgrade, so the first unknown major is 3.)
+	resp = roundTrip(map[string]any{"op": "ping", "v": ProtocolBinaryMajor + 1})
 	if resp["ok"] != false {
 		t.Fatalf("future-major ping accepted: %v", resp)
 	}
@@ -496,19 +497,34 @@ func TestProtocolVersionNegotiation(t *testing.T) {
 	}
 }
 
-// TestVersionedClientAgainstServer pins that the stock client stamps the
-// current major (the server would reject a higher one).
+// TestVersionedClientAgainstServer pins that the client stamps the major
+// it negotiated: a JSON-pinned client stays on v1, the default (auto)
+// client upgrades to the binary major against a current server.
 func TestVersionedClientAgainstServer(t *testing.T) {
 	_, addr, _ := startServer(t)
-	c := dial(t, addr)
-	if err := c.Ping(); err != nil {
-		t.Fatalf("Ping from versioned client: %v", err)
+
+	cj, err := Dial(addr, WithCodec(CodecJSON))
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer func() { _ = cj.Close() }()
 	req := Request{Op: OpPing}
-	if _, err := c.roundTrip(&req); err != nil {
+	if _, err := cj.roundTrip(&req); err != nil {
 		t.Fatal(err)
 	}
 	if req.V != ProtocolMajor {
-		t.Errorf("client stamped v=%d, want %d", req.V, ProtocolMajor)
+		t.Errorf("JSON client stamped v=%d, want %d", req.V, ProtocolMajor)
+	}
+
+	c := dial(t, addr) // default codec: auto-negotiates binary
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping from versioned client: %v", err)
+	}
+	req = Request{Op: OpPing}
+	if _, err := c.roundTrip(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.V != ProtocolBinaryMajor {
+		t.Errorf("auto client stamped v=%d, want %d", req.V, ProtocolBinaryMajor)
 	}
 }

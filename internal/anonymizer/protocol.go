@@ -27,13 +27,22 @@ import (
 	"github.com/reversecloak/reversecloak/internal/roadnet"
 )
 
-// ProtocolMajor is the wire protocol's major version. Requests carry it
-// in their "v" field; the server rejects majors it does not speak, so the
-// format can evolve incompatibly without silently mis-parsing, and a
-// request without a version (v absent or 0) is treated as major 1 for
-// compatibility with clients that predate versioning. Responses echo the
-// server's major.
+// ProtocolMajor is the JSON wire protocol's major version. Requests
+// carry it in their "v" field; the server rejects majors it does not
+// speak, so the format can evolve incompatibly without silently
+// mis-parsing, and a request without a version (v absent or 0) is
+// treated as major 1 for compatibility with clients that predate
+// versioning. Responses echo the connection's negotiated major.
 const ProtocolMajor = 1
+
+// ProtocolBinaryMajor is the binary framing protocol's major version
+// (v2). A connection always starts as newline-delimited JSON; a request
+// carrying v=2 commits it to binary framing: the server acknowledges in
+// JSON ({"v":2,"ok":true}) and every byte after the two newline-
+// terminated lines is CRC-framed binary messages in both directions
+// (codec.go, codec_binary.go; docs/PROTOCOL.md "Binary framing (v2)").
+// Servers keep speaking both majors; clients choose per connection.
+const ProtocolBinaryMajor = 2
 
 // Op names the protocol operations.
 type Op string
@@ -217,4 +226,13 @@ type Response struct {
 	Watermark []uint64      `json:"watermark,omitempty"`
 	Frames    []StreamFrame `json:"frames,omitempty"`
 	Repl      *ReplStatus   `json:"repl,omitempty"`
+
+	// levelVal is the allocation-free backing for Level on pooled
+	// responses: handlers point Level at it instead of heap-allocating a
+	// fresh int per reduce. Neither codec reads it.
+	levelVal int
+	// pooled marks a response obtained from respPool; the connection
+	// writer recycles it after encoding. Responses that escape the writer
+	// (batch items are copied by value) are left to the GC.
+	pooled bool
 }

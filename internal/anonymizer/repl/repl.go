@@ -59,6 +59,11 @@ type Config struct {
 	// capability. Empty Token leaves connections unauthenticated.
 	Tenant string
 	Token  string
+	// Codec selects the wire codec for every connection to the leader.
+	// The zero value (CodecAuto) negotiates binary framing and falls
+	// back to JSON against a leader that predates protocol v2, so
+	// mixed-version pairings replicate fine in either direction.
+	Codec anonymizer.Codec
 }
 
 // Follower replicates a leader's mutation stream into a local durable
@@ -181,7 +186,7 @@ func (f *Follower) bootstrapIfNeeded() error {
 // dial opens a connection to the leader, authenticating it when the
 // follower carries operator credentials.
 func (f *Follower) dial() (*anonymizer.Client, error) {
-	c, err := anonymizer.Dial(f.cfg.LeaderAddr)
+	c, err := anonymizer.Dial(f.cfg.LeaderAddr, anonymizer.WithCodec(f.cfg.Codec))
 	if err != nil {
 		return nil, err
 	}

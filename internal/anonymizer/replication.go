@@ -204,7 +204,11 @@ func (s *Server) handleReplSubscribe(req *Request) *Response {
 	} else {
 		s.replFollowers.note(req.Follower, make(Watermark, shards))
 	}
-	return &Response{OK: true, Epoch: epoch, Shards: shards, Watermark: current}
+	resp := newResp(true)
+	resp.Epoch = epoch
+	resp.Shards = shards
+	resp.Watermark = current
+	return resp
 }
 
 // Bounds on one repl_frames response.
@@ -252,7 +256,11 @@ func (s *Server) handleReplFrames(req *Request) *Response {
 		}
 		frames = append(frames, fs...)
 	}
-	return &Response{OK: true, Epoch: epoch, Frames: frames, Watermark: current}
+	resp := newResp(true)
+	resp.Epoch = epoch
+	resp.Frames = frames
+	resp.Watermark = current
+	return resp
 }
 
 // handleReplAck records a follower's durably applied position.
@@ -274,7 +282,7 @@ func (s *Server) handleReplAck(req *Request) *Response {
 			ErrBadOp, len(req.Watermark), st.ShardCount()))
 	}
 	s.replFollowers.note(req.Follower, req.Watermark)
-	return &Response{OK: true}
+	return newResp(true)
 }
 
 // handleReplStatus reports the node's replication state.
@@ -295,7 +303,9 @@ func (s *Server) handleReplStatus() *Response {
 		lag, _ := s.cfg.repl.Lag()
 		status.LagFrames = &lag
 	}
-	return &Response{OK: true, Repl: status}
+	resp := newResp(true)
+	resp.Repl = status
+	return resp
 }
 
 // handleReplPromote promotes a follower to leader.
@@ -307,7 +317,9 @@ func (s *Server) handleReplPromote() *Response {
 	if err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true, Epoch: epoch}
+	resp := newResp(true)
+	resp.Epoch = epoch
+	return resp
 }
 
 // handleTouch renews a registration's lease through the store's shared
@@ -327,7 +339,8 @@ func (s *Server) handleTouch(req *Request) *Response {
 	if err != nil {
 		return fail(err)
 	}
-	resp := &Response{OK: true, RegionID: req.RegionID}
+	resp := newResp(true)
+	resp.RegionID = req.RegionID
 	if !expiry.IsZero() {
 		resp.ExpiresAtMillis = expiry.UnixMilli()
 	}

@@ -316,14 +316,15 @@ func (s *Server) isClosed() bool {
 }
 
 // dispatch executes one request on behalf of a connection. Top-level
-// responses carry the server's protocol major; requests from a future
-// major are rejected before any field is interpreted (their meaning may
-// have changed). Every dispatched request lands in the per-op latency
+// responses carry the connection's negotiated protocol major (1 on JSON
+// connections, 2 after a binary upgrade); requests from a future major
+// are rejected before any field is interpreted (their meaning may have
+// changed). Every dispatched request lands in the per-op latency
 // histogram behind /metrics.
-func (s *Server) dispatch(cc *connCtx, req *Request) *Response {
+func (s *Server) dispatch(cc *connCtx, req *Request, major int) *Response {
 	start := time.Now()
 	resp := s.dispatchOp(cc, req)
-	resp.V = ProtocolMajor
+	resp.V = major
 	s.metrics.observe(req.Op, time.Since(start), resp.OK)
 	return resp
 }
@@ -333,9 +334,9 @@ func (s *Server) dispatch(cc *connCtx, req *Request) *Response {
 // then the trust boundary (an unauthenticated or unentitled caller
 // learns nothing about roles or state), then the replication role.
 func (s *Server) dispatchOp(cc *connCtx, req *Request) *Response {
-	if req.V > ProtocolMajor {
-		return fail(fmt.Errorf("%w: request major %d, server speaks %d",
-			ErrVersion, req.V, ProtocolMajor))
+	if req.V > ProtocolBinaryMajor {
+		return fail(fmt.Errorf("%w: request major %d, server speaks %d-%d",
+			ErrVersion, req.V, ProtocolMajor, ProtocolBinaryMajor))
 	}
 	if resp := s.authorize(cc, req); resp != nil {
 		return resp
@@ -347,7 +348,7 @@ func (s *Server) dispatchOp(cc *connCtx, req *Request) *Response {
 	}
 	switch req.Op {
 	case OpPing:
-		return &Response{OK: true}
+		return newResp(true)
 	case OpAuth:
 		return s.handleAuth(cc, req)
 	case OpAnonymize:
@@ -385,8 +386,38 @@ func (s *Server) dispatchOp(cc *connCtx, req *Request) *Response {
 	}
 }
 
+// respPool recycles top-level response shells through the connection
+// writer: every handler builds its response from the pool and the writer
+// returns it right after encoding, so the steady-state request path
+// allocates no Response. A response that escapes the writer (batch items
+// are copied by value into the enclosing Batch) simply falls to the GC.
+var respPool = sync.Pool{New: func() any { return new(Response) }}
+
+// newResp returns a recycled response shell with OK set.
+func newResp(ok bool) *Response {
+	r := respPool.Get().(*Response)
+	r.OK = ok
+	r.pooled = true
+	return r
+}
+
+// putResp recycles a pooled response once the writer has encoded it.
+// Pointer fields are dropped, not scrubbed — zero-copy regions are owned
+// by the store.
+func putResp(r *Response) {
+	if r == nil || !r.pooled {
+		return
+	}
+	*r = Response{}
+	respPool.Put(r)
+}
+
 // fail wraps an error into a response.
-func fail(err error) *Response { return &Response{OK: false, Error: err.Error()} }
+func fail(err error) *Response {
+	r := newResp(false)
+	r.Error = err.Error()
+	return r
+}
 
 // handleBatch fans the batch items across a bounded set of goroutines (the
 // engines and store are concurrent-safe) and collects the index-aligned
@@ -412,7 +443,16 @@ func (s *Server) handleBatch(req *Request, item func(*Request) *Response) *Respo
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = *item(&req.Batch[i])
+				r := item(&req.Batch[i])
+				out[i] = *r
+				if r.Level == &r.levelVal {
+					// The item response carried its level in its own pooled
+					// scratch; re-anchor the copy's pointer before the
+					// original is recycled.
+					out[i].Level = &out[i].levelVal
+				}
+				out[i].pooled = false
+				putResp(r)
 			}
 		}()
 	}
@@ -421,7 +461,9 @@ func (s *Server) handleBatch(req *Request, item func(*Request) *Response) *Respo
 	}
 	close(idx)
 	wg.Wait()
-	return &Response{OK: true, Batch: out}
+	resp := newResp(true)
+	resp.Batch = out
+	return resp
 }
 
 // handleAnonymize generates keys, cloaks and registers the result. A
@@ -480,8 +522,12 @@ func (s *Server) handleAnonymize(req *Request) *Response {
 	if err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true, RegionID: id, Region: region, Levels: levels,
-		ExpiresAtMillis: expiresAtMillis}
+	resp := newResp(true)
+	resp.RegionID = id
+	resp.Region = region
+	resp.Levels = levels
+	resp.ExpiresAtMillis = expiresAtMillis
+	return resp
 }
 
 // handleGetRegion returns the public region.
@@ -490,8 +536,14 @@ func (s *Server) handleGetRegion(req *Request) *Response {
 	if err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true, RegionID: req.RegionID,
-		Region: reg.region.Clone(), Levels: reg.keySet.Levels()}
+	// Zero-copy: a registration's region is immutable once stored (reduce
+	// and deanonymize build fresh regions), so the lookup fast path hands
+	// the stored region straight to the response encoder.
+	resp := newResp(true)
+	resp.RegionID = req.RegionID
+	resp.Region = reg.region
+	resp.Levels = reg.keySet.Levels()
+	return resp
 }
 
 // handleSetTrust updates the owner's policy. The mutation goes through
@@ -506,7 +558,7 @@ func (s *Server) handleSetTrust(req *Request) *Response {
 	if err := s.store.SetTrust(req.RegionID, req.Requester, req.ToLevel); err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true}
+	return newResp(true)
 }
 
 // handleDeregister removes a registration, destroying its keys: the
@@ -519,7 +571,7 @@ func (s *Server) handleDeregister(req *Request) *Response {
 	if err := s.store.Deregister(req.RegionID); err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true}
+	return newResp(true)
 }
 
 // backuper is the optional store capability the backup op requires; the
@@ -549,7 +601,9 @@ func (s *Server) handleBackup(req *Request) *Response {
 		if _, _, err := st.WriteIncrementalBackup(&buf, since); err != nil {
 			return fail(err)
 		}
-		return &Response{OK: true, Archive: buf.Bytes()}
+		resp := newResp(true)
+		resp.Archive = buf.Bytes()
+		return resp
 	}
 	b, ok := s.store.(backuper)
 	if !ok {
@@ -559,7 +613,9 @@ func (s *Server) handleBackup(req *Request) *Response {
 	if _, err := b.WriteBackup(&buf); err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true, Archive: buf.Bytes()}
+	resp := newResp(true)
+	resp.Archive = buf.Bytes()
+	return resp
 }
 
 // handleRequestKeys grants keys per the policy.
@@ -579,7 +635,9 @@ func (s *Server) handleRequestKeys(req *Request) *Response {
 	for lv, k := range grant {
 		enc[lv] = hex.EncodeToString(k)
 	}
-	return &Response{OK: true, Keys: enc}
+	resp := newResp(true)
+	resp.Keys = enc
+	return resp
 }
 
 // handleReduce peels the region down to the finest level the requester is
@@ -604,8 +662,8 @@ func (s *Server) handleReduce(req *Request) *Response {
 	levels := reg.keySet.Levels()
 	if target >= levels {
 		// Nothing to peel: the requester sees the published region as-is.
-		return &Response{OK: true, RegionID: req.RegionID,
-			Region: reg.region.Clone(), Levels: levels, Level: &levels}
+		// Zero-copy, like handleGetRegion: the stored region is immutable.
+		return reduceResp(req.RegionID, reg.region, levels, levels)
 	}
 	engine, ok := s.engines[reg.region.Algorithm]
 	if !ok {
@@ -620,8 +678,20 @@ func (s *Server) handleReduce(req *Request) *Response {
 	if err != nil {
 		return fail(err)
 	}
-	return &Response{OK: true, RegionID: req.RegionID,
-		Region: reduced, Levels: levels, Level: &target}
+	return reduceResp(req.RegionID, reduced, levels, target)
+}
+
+// reduceResp builds a reduce response. The reached level lives in the
+// response's own scratch field, so the always-present Level pointer
+// costs no extra allocation on the pooled path.
+func reduceResp(id string, region *cloak.CloakedRegion, levels, level int) *Response {
+	resp := newResp(true)
+	resp.RegionID = id
+	resp.Region = region
+	resp.Levels = levels
+	resp.levelVal = level
+	resp.Level = &resp.levelVal
+	return resp
 }
 
 // parseAlgorithm maps the wire name to the algorithm; empty means RGE.

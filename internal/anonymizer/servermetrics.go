@@ -20,6 +20,7 @@ type serverMetrics struct {
 
 	connsOpen    atomic.Int64
 	connsTotal   atomic.Int64
+	connsBinary  atomic.Int64 // connections upgraded to binary framing (v2)
 	bytesIn      atomic.Int64
 	authFailures atomic.Int64 // rejected auth attempts
 	authRejects  atomic.Int64 // unauthenticated/revoked requests bounced
@@ -103,6 +104,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP anonymizer_connections_total Connections accepted since start.\n")
 	fmt.Fprintf(w, "# TYPE anonymizer_connections_total counter\n")
 	fmt.Fprintf(w, "anonymizer_connections_total %d\n", m.connsTotal.Load())
+	// Per-codec split: every connection starts JSON; the binary counter
+	// advances on upgrade, so json = total - binary (computed at render,
+	// which can lag an in-flight upgrade by one scrape).
+	binaryConns := m.connsBinary.Load()
+	fmt.Fprintf(w, "# HELP anonymizer_connections_codec_total Connections by negotiated wire codec.\n")
+	fmt.Fprintf(w, "# TYPE anonymizer_connections_codec_total counter\n")
+	fmt.Fprintf(w, "anonymizer_connections_codec_total{codec=\"json\"} %d\n", m.connsTotal.Load()-binaryConns)
+	fmt.Fprintf(w, "anonymizer_connections_codec_total{codec=\"binary\"} %d\n", binaryConns)
 	fmt.Fprintf(w, "# HELP anonymizer_request_bytes_total Request bytes read off the wire.\n")
 	fmt.Fprintf(w, "# TYPE anonymizer_request_bytes_total counter\n")
 	fmt.Fprintf(w, "anonymizer_request_bytes_total %d\n", m.bytesIn.Load())

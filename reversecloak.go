@@ -562,6 +562,26 @@ func DialServer(addr string, opts ...ClientOption) (*Client, error) {
 // leader, while reads keep hitting the dialed address.
 func WithLeaderRouting() ClientOption { return anonymizer.WithLeaderRouting() }
 
+// Codec selects a client's wire encoding: CodecAuto (negotiate binary
+// framing, fall back to JSON v1), CodecJSON, or CodecBinary (fail
+// instead of falling back).
+type Codec = anonymizer.Codec
+
+// Wire codec choices for WithCodec.
+const (
+	CodecAuto   = anonymizer.CodecAuto
+	CodecJSON   = anonymizer.CodecJSON
+	CodecBinary = anonymizer.CodecBinary
+)
+
+// WithCodec selects the wire codec a client speaks (see Codec). The
+// default negotiates the binary protocol (v2) and transparently falls
+// back to JSON against servers that predate it.
+func WithCodec(c Codec) ClientOption { return anonymizer.WithCodec(c) }
+
+// ParseCodec parses a -codec flag value ("auto", "json" or "binary").
+func ParseCodec(s string) (Codec, error) { return anonymizer.ParseCodec(s) }
+
 // GeneratePOIs places n POIs uniformly along the network.
 func GeneratePOIs(g *Graph, n int, seed []byte) ([]POI, error) {
 	return query.GeneratePOIs(g, n, seed)

@@ -13,8 +13,17 @@
 # An incremental-backup leg rides along: full backup early, deltas after
 # more load, full+delta must dump identically to the source.
 #
+# CODEC selects the wire codec the tooling dials with (json or binary,
+# default json). Either leg is deliberately a mixed-version pairing —
+# the follower's replication link to the leader always runs the OTHER
+# codec — pinning that one server serves v1 JSON lines and v2 binary
+# frames on the same port at once.
+#
 # Everything runs under a temp dir and cleans up after itself.
 set -eu
+
+CODEC="${CODEC:-json}"
+if [ "$CODEC" = binary ]; then REPL_CODEC=json; else REPL_CODEC=binary; fi
 
 PORT="${E2E_PORT:-7310}"
 FPORT="${E2E_FOLLOWER_PORT:-7311}"
@@ -44,7 +53,7 @@ await_ready() {
     # The status op doubles as a readiness probe.
     _addr="$1"; _log="$2"
     for _ in $(seq 1 75); do
-        if "$WORK/anonymizer" status -addr "$_addr" >/dev/null 2>&1; then
+        if "$WORK/anonymizer" status -addr "$_addr" -codec "$CODEC" >/dev/null 2>&1; then
             return 0
         fi
         sleep 0.2
@@ -53,13 +62,13 @@ await_ready() {
 }
 
 watermark() {
-    "$WORK/anonymizer" status -addr "$1" | sed -n 's/^watermark: *//p'
+    "$WORK/anonymizer" status -addr "$1" -codec "$CODEC" | sed -n 's/^watermark: *//p'
 }
 
 echo "== build"
 go build -o "$WORK/anonymizer" ./cmd/anonymizer
 
-echo "== serve leader (durable store at $WORK/d-leader, admin plane on $ADMIN)"
+echo "== serve leader (durable store at $WORK/d-leader, admin plane on $ADMIN, tooling codec $CODEC)"
 "$WORK/anonymizer" serve -addr "$ADDR" -data-dir "$WORK/d-leader" -ttl 0 \
     -admin-addr "$ADMIN" \
     >"$WORK/leader.log" 2>&1 &
@@ -67,23 +76,23 @@ LEADER_PID=$!
 await_ready "$ADDR" "$WORK/leader.log"
 
 echo "== loadgen (registrations left live via a long TTL)"
-"$WORK/anonymizer" loadgen -addr "$ADDR" -clients 2 -duration 1s -ttl 24h
+"$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -clients 2 -duration 1s -ttl 24h
 
 echo "== full backup + watermark for the incremental leg"
-"$WORK/anonymizer" backup -addr "$ADDR" -out "$WORK/full.rca" 2>"$WORK/backup.meta"
+"$WORK/anonymizer" backup -addr "$ADDR" -codec "$CODEC" -out "$WORK/full.rca" 2>"$WORK/backup.meta"
 cat "$WORK/backup.meta"
 WM="$(sed -n 's/.*watermark \([0-9,]*\)).*/\1/p' "$WORK/backup.meta")"
 [ -n "$WM" ] || { echo "FAIL: no watermark in backup output"; exit 1; }
 
-echo "== serve follower (bootstraps from the leader)"
+echo "== serve follower (bootstraps from the leader; replication link on $REPL_CODEC)"
 "$WORK/anonymizer" serve -addr "$FADDR" -data-dir "$WORK/d-follower" -ttl 0 \
-    -replicate-from "$ADDR" -advertise "$FADDR" \
+    -replicate-from "$ADDR" -advertise "$FADDR" -codec "$REPL_CODEC" \
     >"$WORK/follower.log" 2>&1 &
 FOLLOWER_PID=$!
 await_ready "$FADDR" "$WORK/follower.log"
 
 echo "== more load after the full backup (crosses the delta and the stream)"
-"$WORK/anonymizer" loadgen -addr "$ADDR" -clients 2 -duration 1s -ttl 24h \
+"$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -clients 2 -duration 1s -ttl 24h \
     -read-addr "$FADDR"
 
 echo "== wait for the follower to catch up"
@@ -99,7 +108,7 @@ for _ in $(seq 1 100); do
 done
 [ -n "$caught" ] || { echo "FAIL: follower never caught up (leader $LWM, follower $FWM)"; \
     cat "$WORK/follower.log"; exit 1; }
-"$WORK/anonymizer" status -addr "$FADDR"
+"$WORK/anonymizer" status -addr "$FADDR" -codec "$CODEC"
 
 echo "== metrics smoke: the leader's admin plane sees the WAL and its follower"
 curl -fsS "http://$ADMIN/healthz" >/dev/null || { echo "FAIL: healthz"; exit 1; }
@@ -113,12 +122,12 @@ grep -v '^#' "$WORK/metrics.txt" | grep -q '^anonymizer_repl_follower_behind' ||
     echo "FAIL: caught-up follower missing from the lag gauge"; exit 1; }
 
 echo "== incremental backup since $WM, applied over the full restore"
-"$WORK/anonymizer" backup -addr "$ADDR" -since "$WM" -out "$WORK/delta.rca"
+"$WORK/anonymizer" backup -addr "$ADDR" -codec "$CODEC" -since "$WM" -out "$WORK/delta.rca"
 "$WORK/anonymizer" restore -in "$WORK/full.rca" -data-dir "$WORK/d-incr"
 "$WORK/anonymizer" restore -apply -in "$WORK/delta.rca" -data-dir "$WORK/d-incr"
 
 echo "== snapshot the follower's replicated state (hot backup from the follower)"
-"$WORK/anonymizer" backup -addr "$FADDR" -out "$WORK/follower.rca"
+"$WORK/anonymizer" backup -addr "$FADDR" -codec "$CODEC" -out "$WORK/follower.rca"
 "$WORK/anonymizer" restore -in "$WORK/follower.rca" -data-dir "$WORK/d-follower-copy"
 
 echo "== kill the leader"
@@ -131,12 +140,12 @@ echo "== dump the dead leader's directory"
 [ -s "$WORK/leader.dump" ] || { echo "FAIL: empty leader dump"; exit 1; }
 
 echo "== promote the follower"
-"$WORK/anonymizer" promote -addr "$FADDR"
-"$WORK/anonymizer" status -addr "$FADDR" | grep -q "role: *leader" || {
+"$WORK/anonymizer" promote -addr "$FADDR" -codec "$CODEC"
+"$WORK/anonymizer" status -addr "$FADDR" -codec "$CODEC" | grep -q "role: *leader" || {
     echo "FAIL: follower did not become leader"; exit 1; }
 
 echo "== writes succeed on the new leader"
-"$WORK/anonymizer" loadgen -addr "$FADDR" -clients 1 -duration 1s
+"$WORK/anonymizer" loadgen -addr "$FADDR" -codec "$CODEC" -clients 1 -duration 1s
 
 echo "== the stale leader must be fenced when it tries to rejoin"
 if "$WORK/anonymizer" serve -addr "127.0.0.1:7312" -data-dir "$WORK/d-leader" \
@@ -154,4 +163,4 @@ cmp "$WORK/leader.dump" "$WORK/follower.dump" || {
 cmp "$WORK/leader.dump" "$WORK/incr.dump" || {
     echo "FAIL: full+incremental restore diverged from the leader"; exit 1; }
 
-echo "== OK: $(wc -l <"$WORK/leader.dump") registrations replicated, failover fenced, incremental verified"
+echo "== OK ($CODEC tooling, $REPL_CODEC replication link): $(wc -l <"$WORK/leader.dump") registrations replicated, failover fenced, incremental verified"

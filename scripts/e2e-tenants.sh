@@ -9,6 +9,12 @@
 #   within the reload interval -> /metrics, /healthz and /readyz agree
 #   with everything the scenario did.
 #
+# CODEC selects the wire codec every tool dials with (json or binary,
+# default json): the binary leg proves the whole trust boundary — auth
+# gate, capability denials, throttling, live revocation — behaves
+# identically over v2 frames, and the per-codec connection counter on
+# /metrics confirms the upgrade actually happened.
+#
 # Three tenants drive the scenario:
 #
 #   alpha  every capability, no rate limit  (the in-house service)
@@ -19,6 +25,8 @@
 # failure, logs and the metrics scrape are copied to E2E_ARTIFACT_DIR
 # when set (CI uploads them).
 set -eu
+
+CODEC="${CODEC:-json}"
 
 PORT="${E2E_PORT:-7320}"
 APORT="${E2E_ADMIN_PORT:-7321}"
@@ -76,17 +84,17 @@ done
 [ -n "$ready" ] || { echo "FAIL: admin plane never became ready"; cat "$WORK/server.log"; exit 1; }
 
 echo "== unauthenticated operator ops must bounce"
-if "$WORK/anonymizer" status -addr "$ADDR" >"$WORK/unauth.txt" 2>&1; then
+if "$WORK/anonymizer" status -addr "$ADDR" -codec "$CODEC" >"$WORK/unauth.txt" 2>&1; then
     echo "FAIL: unauthenticated status succeeded"; exit 1
 fi
 grep -q "authentication required" "$WORK/unauth.txt" || {
     echo "FAIL: unauthenticated status refused for the wrong reason:"; cat "$WORK/unauth.txt"; exit 1; }
-if "$WORK/anonymizer" backup -addr "$ADDR" -out "$WORK/never.rca" >>"$WORK/unauth.txt" 2>&1; then
+if "$WORK/anonymizer" backup -addr "$ADDR" -codec "$CODEC" -out "$WORK/never.rca" >>"$WORK/unauth.txt" 2>&1; then
     echo "FAIL: unauthenticated backup succeeded"; exit 1
 fi
 
 echo "== a bad token must bounce before any load is offered"
-if "$WORK/anonymizer" loadgen -addr "$ADDR" -tenant alpha -token wrong \
+if "$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -tenant alpha -token wrong \
     -clients 1 -duration 1s >"$WORK/badtoken.txt" 2>&1; then
     echo "FAIL: loadgen ran with a bad token"; exit 1
 fi
@@ -94,13 +102,13 @@ grep -q "authentication failed" "$WORK/badtoken.txt" || {
     echo "FAIL: bad token refused for the wrong reason:"; cat "$WORK/badtoken.txt"; exit 1; }
 
 echo "== alpha (full access) runs clean"
-"$WORK/anonymizer" loadgen -addr "$ADDR" -tenant alpha -token alpha-secret \
+"$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -tenant alpha -token alpha-secret \
     -clients 2 -duration 1s -ttl 24h | tee "$WORK/alpha.txt"
 grep -q "rejected: denied=0 throttled=0" "$WORK/alpha.txt" || {
     echo "FAIL: the unrestricted tenant was rejected"; exit 1; }
 
 echo "== beta (reduce-only) has every write denied, connection stays up"
-"$WORK/anonymizer" loadgen -addr "$ADDR" -tenant beta -token beta-secret \
+"$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -tenant beta -token beta-secret \
     -clients 2 -duration 1s -ttl 24h | tee "$WORK/beta.txt"
 grep -q "rejected: denied=[1-9]" "$WORK/beta.txt" || {
     echo "FAIL: the capped tenant was not denied"; exit 1; }
@@ -108,7 +116,7 @@ grep -q "throttled=0" "$WORK/beta.txt" || {
     echo "FAIL: the capped tenant was throttled, not denied"; exit 1; }
 
 echo "== gamma (rate 2/s, burst 3) is throttled, not denied"
-"$WORK/anonymizer" loadgen -addr "$ADDR" -tenant gamma -token gamma-secret \
+"$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -tenant gamma -token gamma-secret \
     -clients 2 -duration 1s -ttl 24h | tee "$WORK/gamma.txt"
 grep -q "throttled=[1-9]" "$WORK/gamma.txt" || {
     echo "FAIL: the rate-limited tenant was not throttled"; exit 1; }
@@ -116,10 +124,10 @@ grep -q "denied=0" "$WORK/gamma.txt" || {
     echo "FAIL: the rate-limited tenant was denied, not throttled"; exit 1; }
 
 echo "== the operator tenant takes a hot backup"
-"$WORK/anonymizer" backup -addr "$ADDR" -tenant alpha -token alpha-secret \
+"$WORK/anonymizer" backup -addr "$ADDR" -codec "$CODEC" -tenant alpha -token alpha-secret \
     -out "$WORK/hot.rca"
 [ -s "$WORK/hot.rca" ] || { echo "FAIL: empty backup archive"; exit 1; }
-"$WORK/anonymizer" status -addr "$ADDR" -tenant alpha -token alpha-secret
+"$WORK/anonymizer" status -addr "$ADDR" -codec "$CODEC" -tenant alpha -token alpha-secret
 
 echo "== revoke beta live: the edit must take effect within the reload interval"
 cat >"$WORK/tenants.json" <<'EOF'
@@ -137,7 +145,7 @@ EOF
 # table is live it fails with "authentication failed" instead.
 revoked=""
 for _ in $(seq 1 50); do
-    "$WORK/anonymizer" status -addr "$ADDR" -tenant beta -token beta-secret \
+    "$WORK/anonymizer" status -addr "$ADDR" -codec "$CODEC" -tenant beta -token beta-secret \
         >"$WORK/revoked.txt" 2>&1 || true
     if grep -q "authentication failed" "$WORK/revoked.txt"; then
         revoked=yes
@@ -148,7 +156,7 @@ done
 [ -n "$revoked" ] || {
     echo "FAIL: revoked tenant still authenticates after reload:"; cat "$WORK/revoked.txt"; exit 1; }
 # Survivors are unaffected by the reload.
-"$WORK/anonymizer" status -addr "$ADDR" -tenant alpha -token alpha-secret >/dev/null
+"$WORK/anonymizer" status -addr "$ADDR" -codec "$CODEC" -tenant alpha -token alpha-secret >/dev/null
 
 echo "== scrape the admin plane"
 curl -fsS "http://$ADMIN/healthz" | grep -q "ok" || { echo "FAIL: healthz"; exit 1; }
@@ -176,5 +184,9 @@ require_pos 'anonymizer_wal_records_total'
 require_pos 'anonymizer_wal_fsyncs_total'
 require_pos 'anonymizer_op_duration_seconds_count{op="anonymize"}'
 require_pos 'anonymizer_op_errors_total{op="backup"}'
+if [ "$CODEC" = binary ]; then
+    # The binary leg must actually have upgraded its connections.
+    require_pos 'anonymizer_connections_codec_total{codec="binary"}'
+fi
 
-echo "== OK: auth gated, capabilities enforced, quotas shed load, revocation is live, metrics agree"
+echo "== OK ($CODEC codec): auth gated, capabilities enforced, quotas shed load, revocation is live, metrics agree"
