@@ -319,6 +319,11 @@ func TestAdminHandler(t *testing.T) {
 		`anonymizer_tenant_ops_total{tenant="alpha"}`,
 		"anonymizer_wal_records_total 1",
 		"anonymizer_wal_fsyncs_total",
+		"anonymizer_wal_group_commit_last_cohort",
+		"anonymizer_wal_log_bytes",
+		"anonymizer_wal_log_segments 1",
+		`anonymizer_wal_fsync_duration_seconds_bucket{le="+Inf"}`,
+		"anonymizer_wal_fsync_duration_seconds_count",
 		"anonymizer_stream_watermark_sum 1",
 	} {
 		if !strings.Contains(body, series) {

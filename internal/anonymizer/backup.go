@@ -35,14 +35,18 @@ func (c *countWriter) Write(p []byte) (int, error) {
 }
 
 // WriteBackup streams a consistent hot backup of the store to w as one
-// CRC-framed archive and returns the byte count written. It first forces a
-// compaction of every shard (Snapshot), so an fsync failure anywhere in
-// the snapshot path fails the backup rather than shipping an unsynced
-// image; it then copies each shard's snapshot and WAL tail under that
-// shard's read lock, so every shard in the archive is a consistent prefix
-// of its mutation stream — exactly the guarantee crash recovery relies on.
-// The store stays live throughout: mutations landing while the backup
-// streams are captured per shard up to the moment its lock is taken.
+// CRC-framed archive and returns the byte count written. Archives keep
+// the version-1 per-shard interchange format — one snapshot plus one WAL
+// tail per shard, version-1 META — whatever the live layout, so any
+// archive restores anywhere and the restored directory migrates on its
+// first open. It first forces a compaction of every shard (Snapshot), so
+// an fsync failure anywhere in the snapshot path fails the backup rather
+// than shipping an unsynced image; it then copies each shard's snapshot
+// and synthesizes its WAL tail from the unified log under that shard's
+// read lock, so every shard in the archive is a consistent prefix of its
+// mutation stream — exactly the guarantee crash recovery relies on. The
+// store stays live throughout: mutations landing while the backup streams
+// are captured per shard up to the moment its lock is taken.
 func (s *DurableStore) WriteBackup(w io.Writer) (int64, error) {
 	if s.closed.Load() {
 		return 0, ErrStoreClosed
@@ -58,18 +62,14 @@ func (s *DurableStore) WriteBackup(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	aw.file(metaFile, 0, meta)
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		if aw.err != nil {
 			break
 		}
 		sh.mu.RLock()
 		seq := sh.streamSeq
 		snap, serr := os.ReadFile(sh.snapPath)
-		var wal []byte
-		var werr error
-		if sh.walSize > 0 {
-			wal, werr = readPrefix(sh.walPath, sh.walSize)
-		}
+		wal, werr := s.shardTailLocked(sh)
 		sh.mu.RUnlock()
 		if serr != nil {
 			return cw.n, fmt.Errorf("anonymizer: backup snapshot read: %w", serr)
@@ -80,34 +80,46 @@ func (s *DurableStore) WriteBackup(w io.Writer) (int64, error) {
 		// Each shard file record carries the shard's stream offset at copy
 		// time, so the archive's watermark — the position an incremental
 		// backup can continue from — is readable from the archive itself.
-		aw.file(filepath.Base(sh.snapPath), seq, snap)
-		aw.file(filepath.Base(sh.walPath), seq, wal)
+		aw.file(shardSnapName(i), seq, snap)
+		aw.file(shardWALName(i), seq, wal)
 	}
 	return cw.n, aw.finish()
 }
 
-// readPrefix reads the first size bytes of path through a fresh read-only
-// handle (the store's own handle is positioned for appends).
-func readPrefix(path string, size int64) ([]byte, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// shardTailLocked copies the shard's post-snapshot records out of the
+// unified log as contiguous WAL-style bytes (the caller holds the shard
+// lock, which pins the entries' segments against reclaim). These are the
+// exact frames the shard appended, so a restored shard WAL is
+// byte-identical to what the version-1 engine would have held.
+func (s *DurableStore) shardTailLocked(sh *durableShard) ([]byte, error) {
+	if len(sh.entries) == 0 {
+		return nil, nil
 	}
-	defer func() { _ = f.Close() }()
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(f, buf); err != nil {
-		return nil, err
+	var total int64
+	for _, e := range sh.entries {
+		total += int64(e.n)
+	}
+	buf := make([]byte, total)
+	off := 0
+	for _, e := range sh.entries {
+		if _, err := e.seg.f.ReadAt(buf[off:off+int(e.n)], e.off); err != nil {
+			return nil, err
+		}
+		off += int(e.n)
 	}
 	return buf, nil
 }
 
 // BackupDir streams a closed data directory to w as one CRC-framed archive
-// and returns the byte count written. The directory must not be open in a
-// live store (stop the server, or use WriteBackup / the serve backup op
-// for hot backups): BackupDir copies the files as they are, and a
-// concurrent writer could tear them mid-record.
+// and returns the byte count written. Both layouts are accepted — a
+// version-2 directory's unified log is demultiplexed back into per-shard
+// WAL tails, because archives keep the version-1 per-shard interchange
+// format. The directory must not be open in a live store (stop the
+// server, or use WriteBackup / the serve backup op for hot backups):
+// BackupDir reads the files as they are, and a concurrent writer could
+// tear them mid-record.
 func BackupDir(w io.Writer, dir string) (int64, error) {
-	shards, err := readMeta(dir)
+	shards, version, err := readMeta(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 0, fmt.Errorf("anonymizer: %s is not a durable data directory (no %s)", dir, metaFile)
@@ -117,11 +129,38 @@ func BackupDir(w io.Writer, dir string) (int64, error) {
 	cw := &countWriter{w: w}
 	aw := newArchiveWriter(cw)
 	aw.header(shards, 0, nil)
-	meta, err := os.ReadFile(filepath.Join(dir, metaFile))
+	meta, err := encodeMeta(shards)
 	if err != nil {
-		return cw.n, fmt.Errorf("anonymizer: backup meta read: %w", err)
+		return cw.n, err
 	}
 	aw.file(metaFile, 0, meta)
+	if version >= 2 {
+		streams, _, err := readDirStreams(dir, shards)
+		if err != nil {
+			return cw.n, err
+		}
+		var buf []byte
+		for i, st := range streams {
+			var wal bytes.Buffer
+			for _, fr := range st.frames {
+				if buf, err = appendFrame(buf, fr.payload); err != nil {
+					return cw.n, err
+				}
+				wal.Write(buf)
+			}
+			seq := st.end()
+			if st.snap != nil {
+				aw.file(shardSnapName(i), seq, st.snap)
+			}
+			if wal.Len() > 0 {
+				aw.file(shardWALName(i), seq, wal.Bytes())
+			}
+			if aw.err != nil {
+				break
+			}
+		}
+		return cw.n, aw.finish()
+	}
 	for i := 0; i < shards; i++ {
 		var snap, wal []byte
 		for _, p := range []struct {
@@ -152,6 +191,113 @@ func BackupDir(w io.Writer, dir string) (int64, error) {
 		}
 	}
 	return cw.n, aw.finish()
+}
+
+// dirFrame is one post-snapshot record of a closed directory's shard
+// stream: its offset and payload bytes.
+type dirFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// dirShardStream is one shard's logical stream as read from a closed
+// version-2 directory: the snapshot image plus the unified-log records
+// after it.
+type dirShardStream struct {
+	snap    []byte
+	snapSeq uint64
+	frames  []dirFrame
+}
+
+// end returns the stream position the shard reaches.
+func (st *dirShardStream) end() uint64 {
+	if n := len(st.frames); n > 0 {
+		return st.frames[n-1].seq
+	}
+	return st.snapSeq
+}
+
+// readDirStreams demultiplexes a closed version-2 directory into its
+// per-shard logical streams, for the offline tools (cold backup,
+// incremental backup, reshard) that consume shard streams without opening
+// a live store. It also returns the torn tail bytes skipped. The damage
+// rules match recovery read-only: a torn tail is tolerated only in the
+// last non-empty segment; damage anywhere else is corruption.
+func readDirStreams(dir string, shards int) ([]dirShardStream, int64, error) {
+	out := make([]dirShardStream, shards)
+	for i := range out {
+		snap, err := os.ReadFile(filepath.Join(dir, shardSnapName(i)))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("anonymizer: reading snapshot: %w", err)
+		}
+		out[i].snap = snap
+		if _, err := readRecords(bytes.NewReader(snap), func(rec *walRecord) error {
+			if rec.Type == recSnapHeader {
+				out[i].snapSeq = rec.StreamSeq
+			}
+			return nil
+		}); err != nil {
+			if errors.Is(err, errTornTail) {
+				err = fmt.Errorf("%w: truncated snapshot %s", ErrCorruptLog, shardSnapName(i))
+			}
+			return nil, 0, err
+		}
+	}
+	names, _, err := listSegments(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	raws := make([][]byte, len(names))
+	lastData := -1
+	for i, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, 0, fmt.Errorf("anonymizer: reading log segment: %w", err)
+		}
+		raws[i] = raw
+		if len(raw) > 0 {
+			lastData = i
+		}
+	}
+	mask := uint32(shards - 1)
+	runs := make([]uint64, shards)
+	for i := range out {
+		runs[i] = out[i].snapSeq
+	}
+	var truncated int64
+	for i, raw := range raws {
+		intact, rerr := readFrames(bytes.NewReader(raw), func(payload []byte) error {
+			var rec walRecord
+			if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+				return fmt.Errorf("%w: %v", ErrCorruptLog, jerr)
+			}
+			if rec.Type == recSnapHeader {
+				return fmt.Errorf("%w: unexpected %q record in log", ErrCorruptLog, rec.Type)
+			}
+			shard := int(shardIndex(rec.ID, mask))
+			seq := nextStreamSeq(runs[shard], rec.Seq)
+			runs[shard] = seq
+			if seq <= out[shard].snapSeq {
+				return nil // folded into the snapshot already
+			}
+			out[shard].frames = append(out[shard].frames,
+				dirFrame{seq: seq, payload: append([]byte(nil), payload...)})
+			return nil
+		})
+		if rerr != nil && !errors.Is(rerr, errTornTail) {
+			return nil, 0, fmt.Errorf("anonymizer: scanning %s: %w", names[i], rerr)
+		}
+		if errors.Is(rerr, errTornTail) || intact < int64(len(raw)) {
+			if i != lastData {
+				return nil, 0, fmt.Errorf("%w: damaged non-final log segment %s", ErrCorruptLog, names[i])
+			}
+			truncated += int64(len(raw)) - intact
+		}
+	}
+	return out, truncated, nil
 }
 
 // shardStreamEnd derives a shard's stream position from its raw snapshot
@@ -263,7 +409,7 @@ func (s *DurableStore) WriteIncrementalBackup(w io.Writer, since Watermark) (int
 // directory: it scans each shard's files read-only and ships the records
 // after since. The directory must not be open in a live store.
 func IncrementalBackupDir(w io.Writer, dir string, since Watermark) (int64, *IncrementalStats, error) {
-	shards, err := readMeta(dir)
+	shards, version, err := readMeta(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 0, nil, fmt.Errorf("anonymizer: %s is not a durable data directory (no %s)", dir, metaFile)
@@ -279,6 +425,37 @@ func IncrementalBackupDir(w io.Writer, dir string, since Watermark) (int64, *Inc
 	aw := newArchiveWriter(cw)
 	aw.header(shards, 0, since.Clone())
 	var buf []byte
+	if version >= 2 {
+		streams, _, err := readDirStreams(dir, shards)
+		if err != nil {
+			return cw.n, nil, err
+		}
+		for i, st := range streams {
+			if aw.err != nil {
+				break
+			}
+			if since[i] < st.snapSeq {
+				return cw.n, nil, fmt.Errorf("%w: shard %d offset %d, oldest streamable %d — take a full backup",
+					ErrStreamGap, i, since[i], st.snapSeq)
+			}
+			var delta bytes.Buffer
+			frames := 0
+			for _, fr := range st.frames {
+				if fr.seq <= since[i] {
+					continue
+				}
+				if buf, err = appendFrame(buf, fr.payload); err != nil {
+					return cw.n, nil, err
+				}
+				delta.Write(buf)
+				frames++
+			}
+			stats.Frames += frames
+			stats.End[i] = st.end()
+			aw.file(shardDeltaName(i), stats.End[i], delta.Bytes())
+		}
+		return cw.n, stats, aw.finish()
+	}
 	for i := 0; i < shards; i++ {
 		if aw.err != nil {
 			break
@@ -591,7 +768,7 @@ func (r *restoreSink) End(int) error {
 	if !r.metaSeen {
 		return badArchive("archive carries no %s", metaFile)
 	}
-	shards, err := readMeta(r.dir)
+	shards, _, err := readMeta(r.dir)
 	if err != nil {
 		return badArchive("restored %s unreadable: %v", metaFile, err)
 	}

@@ -193,3 +193,28 @@ func BenchmarkAnonymizeBatch(b *testing.B) {
 		b.ReportMetric(float64(b.N*batchSize)/secs, "req/s")
 	}
 }
+
+// BenchmarkWALAppend measures the journaling hot path in isolation: one
+// registration through check → unified-log append → apply, with syncing
+// out of the way (fsync=never) and compaction disabled so every
+// iteration is a pure append. scripts/check-allocs.sh gates its
+// allocs/op against testdata/alloc_baseline.json.
+func BenchmarkWALAppend(b *testing.B) {
+	st, err := OpenDurableStore(b.TempDir(),
+		WithFsyncPolicy(FsyncNever),
+		WithDurableShards(4),
+		WithSnapshotEvery(0),
+		WithGCInterval(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	reg := fakeRegistration(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Register(reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -89,9 +89,10 @@ func TestCrashBetweenSnapshotTmpWriteAndRename(t *testing.T) {
 }
 
 // TestCrashBetweenSnapshotRenameAndWALTruncate kills compaction after the
-// snapshot is published but before the WAL resets: every register record
-// now exists in both files. Recovery must dedup (each registration once),
-// count nothing as expired, and never reissue an ID.
+// snapshot is published but before the shard's log records become
+// reclaimable: every register record now exists in both the snapshot and
+// the unified log. Recovery must dedup (each registration once), count
+// nothing as expired, and never reissue an ID.
 func TestCrashBetweenSnapshotRenameAndWALTruncate(t *testing.T) {
 	dir := t.TempDir()
 	st, err := OpenDurableStore(dir, WithDurableShards(1), WithSnapshotEvery(0))
@@ -110,16 +111,13 @@ func TestCrashBetweenSnapshotRenameAndWALTruncate(t *testing.T) {
 	if err := st.Snapshot(); !errors.Is(err, errSimulatedCrash) {
 		t.Fatalf("Snapshot with post-rename crash: err = %v", err)
 	}
-	// The crash window's on-disk state: published snapshot AND a full WAL.
+	// The crash window's on-disk state: published snapshot AND the full
+	// log (the crash precedes segment reclaim).
 	if _, err := os.Stat(filepath.Join(dir, "shard-0000.snap")); err != nil {
 		t.Fatalf("snapshot missing after post-rename crash: %v", err)
 	}
-	wal, err := os.Stat(filepath.Join(dir, "shard-0000.wal"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if wal.Size() == 0 {
-		t.Fatal("WAL already truncated; the crash window was not reproduced")
+	if logBytes(t, dir) == 0 {
+		t.Fatal("log already reclaimed; the crash window was not reproduced")
 	}
 
 	st2 := openDurable(t, dir)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -79,6 +78,7 @@ type durabilityConfig struct {
 	fsyncEvery       time.Duration
 	snapshotEvery    int
 	snapshotInterval time.Duration
+	segBytes         int64
 	ttl              time.Duration
 	gcInterval       time.Duration
 	replica          bool
@@ -86,15 +86,17 @@ type durabilityConfig struct {
 }
 
 // defaultDurabilityConfig returns the config before options are applied.
-// The durable store defaults to fewer shards than the in-memory one: each
-// shard is a WAL file, and 16 keeps the file-handle count low while still
-// letting fsyncs proceed in parallel.
+// The durable store defaults to fewer shards than the in-memory one:
+// shards are lock-striping and stream-parallelism units (every shard
+// journals into the one store-wide log), and 16 keeps per-shard index
+// overhead low while spreading lock contention.
 func defaultDurabilityConfig() durabilityConfig {
 	return durabilityConfig{
 		shards:        16,
 		fsync:         FsyncInterval,
 		fsyncEvery:    100 * time.Millisecond,
 		snapshotEvery: 4096,
+		segBytes:      defaultSegmentBytes,
 		gcInterval:    DefaultGCInterval,
 		now:           time.Now,
 	}
@@ -135,8 +137,20 @@ func WithSnapshotInterval(d time.Duration) DurabilityOption {
 	}
 }
 
-// WithDurableShards sets the shard (and so WAL file) count, rounded up to
-// a power of two.
+// WithLogSegmentBytes sets the unified log's segment rotation threshold
+// (default 64 MiB). Smaller segments reclaim disk sooner after
+// compaction at the cost of more files; records larger than the
+// threshold still land whole (a segment always accepts at least one
+// record).
+func WithLogSegmentBytes(n int64) DurabilityOption {
+	return func(c *durabilityConfig) {
+		if n > 0 {
+			c.segBytes = n
+		}
+	}
+}
+
+// WithDurableShards sets the shard count, rounded up to a power of two.
 func WithDurableShards(n int) DurabilityOption {
 	return func(c *durabilityConfig) {
 		if n > 0 {
@@ -214,38 +228,50 @@ type RecoveryStats struct {
 	TruncatedBytes int64
 }
 
+// streamEntry is one record of a shard's in-memory offset index: where
+// in the unified log the record with this stream offset physically
+// lives. The index is what preserves the per-shard stream contracts
+// (TailFrom, incremental backup) over the shared log: entries are
+// ascending in seq, cover exactly the records after the shard's
+// snapshot, and are rebuilt from the log scan at open.
+type streamEntry struct {
+	seq uint64
+	seg *logSegment
+	off int64
+	n   int32 // framed size (header + payload)
+}
+
 // durableShard is one partition of the durable store: the in-memory
-// registration table plus the WAL file that journals every mutation of it.
+// registration table plus the shard's slice of the store-wide log,
+// addressed through the offset index.
 type durableShard struct {
 	mu         sync.RWMutex
 	tab        regTable
-	wal        *os.File
-	walPath    string
+	idx        int // shard number (the unified log tags appends with it)
 	snapPath   string
-	walSize    int64 // bytes of intact records in the WAL
-	walRecords int   // records since the last snapshot
-	dirty      bool  // appends not yet fsynced
+	walRecords int // records since the last snapshot (= len(entries))
 	buf        []byte
 
 	// streamSeq is the shard's stream position: the offset of the last
-	// mutation record appended to this shard's log, monotonic across
-	// snapshot compactions and restarts. snapSeq is the position the
-	// current snapshot covers: records at or below it live only in the
-	// snapshot, records above it are still in the WAL and servable to
-	// stream readers (TailFrom, incremental backup).
+	// mutation record appended to this shard's logical stream, monotonic
+	// across snapshot compactions and restarts. snapSeq is the position
+	// the current snapshot covers: records at or below it live only in
+	// the snapshot, records above it are indexed in entries and servable
+	// to stream readers (TailFrom, incremental backup).
 	streamSeq uint64
 	snapSeq   uint64
+	// snapSeqA mirrors snapSeq for lock-free reads by the log's segment
+	// reclaim (which runs under a DIFFERENT shard's lock and must not
+	// take this one).
+	snapSeqA atomic.Uint64
 
-	// walEnd mirrors walSize for lock-free reads by the group-commit
-	// leader (it must not take the shard lock while electing a target).
-	walEnd atomic.Int64
-	gc     groupCommit
+	entries []streamEntry
 }
 
 // DurableStore is a crash-safe Store: every lifecycle mutation is
-// journaled to a per-shard CRC-framed write-ahead log before it is
+// journaled to the store-wide CRC-framed write-ahead log before it is
 // acknowledged, shards are periodically compacted into snapshots, and
-// OpenDurableStore replays snapshot + WAL through the same apply path the
+// OpenDurableStore replays snapshot + log through the same apply path the
 // live store uses — preserving the paper's reversibility guarantee across
 // restarts, since a region is only de-anonymizable while the service
 // still holds its keys. Registrations with a TTL expire on schedule: the
@@ -262,13 +288,17 @@ type DurableStore struct {
 	nextID atomic.Uint64
 	stats  RecoveryStats
 
+	// log is the store-wide unified journal every shard appends into; gc
+	// is the store-wide group commit over it — ONE fsync per cohort for
+	// the whole store, which is the point of the single-log layout.
+	log *storeLog
+	gc  groupCommit
+
 	snapshots atomic.Int64 // compactions performed (observable in tests)
 
-	// Observability counters behind WALStats (/metrics): records
-	// journaled and explicit WAL fsyncs (interval/explicit Sync; the
-	// group-commit rounds live in each shard's groupCommit).
+	// recordsTotal counts records journaled, behind WALStats (/metrics).
+	// Fsync counters live on the log itself (every fsync goes through it).
 	recordsTotal atomic.Int64
-	fsyncsTotal  atomic.Int64
 
 	// replica marks the store as a replication follower: local mutations
 	// are refused with ErrNotLeader (state arrives only through
@@ -304,10 +334,14 @@ type DurableStore struct {
 }
 
 // OpenDurableStore opens (or initializes) a durable store rooted at dir,
-// recovering any state a previous process left there. Each shard lives in
-// dir as a shard-NNNN.wal log plus an optional shard-NNNN.snap snapshot;
-// recovery loads the snapshot, replays the log, and truncates any torn
-// tail a crash left behind (see Recovery for what was found).
+// recovering any state a previous process left there. The directory holds
+// one shard-NNNN.snap snapshot per shard plus the store-wide unified log
+// (wal-NNNNNNNN.seg segments); recovery loads each shard's snapshot,
+// replays the log once — routing each record to its shard by region-ID
+// hash — and truncates any torn tail a crash left behind (see Recovery
+// for what was found). A directory still in the version-1 per-shard
+// layout (a pre-upgrade data dir, or one restored from a backup archive)
+// is migrated in place first, crash-safely.
 func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, error) {
 	cfg := defaultDurabilityConfig()
 	for _, opt := range opts {
@@ -316,7 +350,7 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("anonymizer: durable dir: %w", err)
 	}
-	size, err := loadOrInitMeta(dir, cfg.shards)
+	size, version, err := loadOrInitMeta(dir, cfg.shards)
 	if err != nil {
 		return nil, err
 	}
@@ -327,27 +361,110 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 		mask:   uint32(size - 1),
 		stop:   make(chan struct{}),
 	}
+	s.gc.init()
 	s.replica.Store(cfg.replica)
 	if err := s.loadEpoch(); err != nil {
 		return nil, err
 	}
-	var maxID uint64
-	canExpire := false
-	for i := range s.shards {
-		sh, shardMax, err := s.recoverShard(i)
+	if version == 1 {
+		truncated, err := migrateStoreV1(dir, size, cfg.segBytes)
 		if err != nil {
-			s.closeShards()
+			return nil, err
+		}
+		s.stats.TruncatedBytes += truncated
+	} else if err := cleanupRetiredV1(dir); err != nil {
+		// A crash between a migration's commit rename and its cleanup
+		// leaves retired per-shard WALs next to a valid v2 layout.
+		return nil, err
+	}
+
+	// Phase 1: per-shard snapshots (each a complete, atomic image).
+	openNow := s.cfg.now().UnixNano()
+	var maxID uint64
+	note := func(id string) {
+		if n, ok := parseRegionID(id); ok && n > maxID {
+			maxID = n
+		}
+	}
+	tally := newReplayTally()
+	for i := range s.shards {
+		sh, err := s.loadShardSnapshot(i, &maxID, tally, openNow)
+		if err != nil {
 			return nil, err
 		}
 		s.shards[i] = sh
-		if shardMax > maxID {
-			maxID = shardMax
+	}
+
+	// Phase 2: one pass over the unified log. Each record self-describes
+	// its stream: the shard comes from the region-ID hash, the offset from
+	// the payload's Seq (nextStreamSeq tolerates pre-offset-era records).
+	// Records a shard's snapshot already covers are skipped but still
+	// advance the running offset; the rest replay through the shared apply
+	// and land in the shard's physical index.
+	runs := make([]uint64, size)
+	for i, sh := range s.shards {
+		runs[i] = sh.snapSeq
+	}
+	lg, truncated, err := openStoreLog(dir, size, cfg.segBytes,
+		func(rec *walRecord, seg *logSegment, off int64, n int) (int, uint64, error) {
+			if rec.Type == recSnapHeader {
+				return 0, 0, fmt.Errorf("%w: unexpected %q record in log", ErrCorruptLog, rec.Type)
+			}
+			shard := int(shardIndex(rec.ID, s.mask))
+			seq := nextStreamSeq(runs[shard], rec.Seq)
+			runs[shard] = seq
+			sh := s.shards[shard]
+			note(rec.ID)
+			if seq <= sh.snapSeq {
+				// Covered by the snapshot (crash between snapshot rename and
+				// segment reclaim); skip, like the v1 replay skipped records a
+				// WAL truncation hadn't yet dropped.
+				return shard, seq, nil
+			}
+			m, err := mutationFromRecord(rec)
+			if err != nil {
+				return 0, 0, err
+			}
+			applied, err := sh.tab.apply(m, applyReplay, openNow)
+			if err != nil {
+				return 0, 0, err
+			}
+			tally.note(m, applied)
+			sh.entries = append(sh.entries, streamEntry{seq: seq, seg: seg, off: off, n: int32(n)})
+			sh.walRecords++
+			return shard, seq, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.log = lg
+	s.stats.TruncatedBytes += truncated
+	s.stats.TrustUpdates = tally.TrustUpdates
+	s.stats.Deregistrations = tally.Deregistrations
+	s.stats.Renewals = tally.Renewals
+	s.stats.Expired = tally.Expired
+
+	canExpire := false
+	for i, sh := range s.shards {
+		sh.streamSeq = runs[i]
+		// The stream has fully replayed; reclaim whatever is dead at the
+		// open instant in one sweep (replay itself is expiry-blind so that
+		// touch records can renew leases that lapsed mid-log). Replicas
+		// skip the sweep entirely: their stream has no end — a renewal
+		// frame for a "dead" entry may still be in flight from the leader,
+		// and dropping the entry locally would make that frame a silent
+		// no-op. Lazy expiry keeps dead entries invisible to reads either
+		// way.
+		if !s.cfg.replica {
+			s.stats.Expired += sh.tab.dropExpiredLocked(openNow)
 		}
 		s.stats.Registrations += len(sh.tab.regs)
-		for _, reg := range sh.tab.regs {
-			if reg.expiresAt != 0 {
-				canExpire = true
-				break
+		if !canExpire {
+			for _, reg := range sh.tab.regs {
+				if reg.expiresAt != 0 {
+					canExpire = true
+					break
+				}
 			}
 		}
 	}
@@ -378,55 +495,68 @@ type storeMeta struct {
 // metaFile is the data-directory header file name.
 const metaFile = "META.json"
 
+// storeMetaVersion is the current data-directory layout version: 2, the
+// unified-log layout. Version 1 (one WAL file per shard) is still read —
+// OpenDurableStore migrates it in place — and still WRITTEN into backup
+// archives, which keep the per-shard format as the interchange encoding.
+const storeMetaVersion = 2
+
 // readMeta parses an existing data directory's header and returns its
-// shard count. A missing header reports os.ErrNotExist (wrapped): the
-// directory was never initialized as a durable store.
-func readMeta(dir string) (int, error) {
+// shard count and layout version. A missing header reports os.ErrNotExist
+// (wrapped): the directory was never initialized as a durable store.
+func readMeta(dir string) (int, int, error) {
 	path := filepath.Join(dir, metaFile)
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return 0, fmt.Errorf("anonymizer: reading %s: %w", path, err)
+		return 0, 0, fmt.Errorf("anonymizer: reading %s: %w", path, err)
 	}
 	var m storeMeta
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return 0, fmt.Errorf("anonymizer: parsing %s: %w", path, err)
+		return 0, 0, fmt.Errorf("anonymizer: parsing %s: %w", path, err)
 	}
-	if m.Version != 1 || m.Shards < 1 || m.Shards&(m.Shards-1) != 0 {
-		return 0, fmt.Errorf("anonymizer: unsupported store meta %+v in %s", m, path)
+	if m.Version < 1 || m.Version > storeMetaVersion ||
+		m.Shards < 1 || m.Shards&(m.Shards-1) != 0 {
+		return 0, 0, fmt.Errorf("anonymizer: unsupported store meta %+v in %s", m, path)
 	}
-	return m.Shards, nil
+	return m.Shards, m.Version, nil
 }
 
-// encodeMeta renders the header file content for a store of the given
-// shard count — the exact bytes loadOrInitMeta writes, so a hot backup's
-// synthesized META is byte-identical to the on-disk one.
+// encodeMeta renders the version-1 header for a store of the given shard
+// count — the encoding backup archives carry, so a restored directory is
+// a valid per-shard-layout store that migrates on its first open.
 func encodeMeta(shards int) ([]byte, error) {
-	raw, err := json.Marshal(storeMeta{Version: 1, Shards: shards})
+	return encodeMetaVersion(shards, 1)
+}
+
+// encodeMetaVersion renders a header file at an explicit layout version.
+func encodeMetaVersion(shards, version int) ([]byte, error) {
+	raw, err := json.Marshal(storeMeta{Version: version, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
 	return append(raw, '\n'), nil
 }
 
-// loadOrInitMeta returns the directory's shard count, initializing the
-// meta file (atomically) on first open. An existing meta overrides the
-// requested count; resharding an existing directory is an offline
-// migration (Reshard), not an open-time option.
-func loadOrInitMeta(dir string, requested int) (int, error) {
-	size, err := readMeta(dir)
+// loadOrInitMeta returns the directory's shard count and layout version,
+// initializing the meta file (atomically, at the current version) on
+// first open. An existing meta overrides the requested count; resharding
+// an existing directory is an offline migration (Reshard), not an
+// open-time option.
+func loadOrInitMeta(dir string, requested int) (int, int, error) {
+	size, version, err := readMeta(dir)
 	if err == nil {
-		return size, nil
+		return size, version, nil
 	}
 	if !errors.Is(err, os.ErrNotExist) {
-		return 0, err
+		return 0, 0, err
 	}
 	size = 1
 	for size < requested {
 		size <<= 1
 	}
-	raw, err := encodeMeta(size)
+	raw, err := encodeMetaVersion(size, storeMetaVersion)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	// Write + fsync + rename, like snapshots: the rename must never be
 	// able to outlive the file contents on a machine crash, or the store
@@ -435,7 +565,7 @@ func loadOrInitMeta(dir string, requested int) (int, error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
-		return 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
+		return 0, 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
 	}
 	_, err = f.Write(raw)
 	if err == nil {
@@ -449,144 +579,73 @@ func loadOrInitMeta(dir string, requested int) (int, error) {
 	}
 	if err != nil {
 		_ = os.Remove(tmp)
-		return 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
+		return 0, 0, fmt.Errorf("anonymizer: writing store meta: %w", err)
 	}
 	if err := syncDir(dir); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return size, nil
+	return size, storeMetaVersion, nil
 }
 
-// recoverShard loads one shard from its snapshot and WAL, replaying every
-// record through the shared mutation-apply path. It returns the shard and
-// the highest region-ID counter value seen in any record, so the store
-// never re-issues an ID that was ever acknowledged.
-func (s *DurableStore) recoverShard(i int) (*durableShard, uint64, error) {
+// loadShardSnapshot loads one shard's snapshot image (the unified-log
+// replay continues it afterwards). Register records route through the
+// shared mutation-apply path in replay mode; maxID and the tally
+// accumulate across shards in the caller.
+func (s *DurableStore) loadShardSnapshot(
+	i int, maxID *uint64, tally *replayTally, openNow int64,
+) (*durableShard, error) {
 	sh := &durableShard{
 		tab:      newRegTable(),
-		walPath:  filepath.Join(s.dir, shardWALName(i)),
+		idx:      i,
 		snapPath: filepath.Join(s.dir, shardSnapName(i)),
 	}
-	sh.gc.init()
-	openNow := s.cfg.now().UnixNano()
-	var maxID uint64
-	note := func(id string) {
-		if n, ok := parseRegionID(id); ok && n > maxID {
-			maxID = n
-		}
-	}
-	// replay routes one record through regTable.apply in replay mode; the
-	// shared tally keeps the recovery statistics (counted per mutation
-	// kind, expired registers once per ID).
-	tally := newReplayTally()
-	replay := func(rec *walRecord) error {
-		m, err := mutationFromRecord(rec)
-		if err != nil {
-			return err
-		}
-		note(rec.ID)
-		applied, err := sh.tab.apply(m, applyReplay, openNow)
-		if err != nil {
-			return err
-		}
-		tally.note(m, applied)
-		return nil
-	}
-	defer func() {
-		s.stats.TrustUpdates += tally.TrustUpdates
-		s.stats.Deregistrations += tally.Deregistrations
-		s.stats.Renewals += tally.Renewals
-		s.stats.Expired += tally.Expired
-	}()
-
 	// Snapshots are written to a temp file and renamed into place, so a
 	// snapshot either exists completely or not at all; any framing error
 	// inside one is real corruption, not a torn write.
-	if snap, err := os.Open(sh.snapPath); err == nil {
-		_, rerr := readRecords(snap, func(rec *walRecord) error {
-			switch rec.Type {
-			case recSnapHeader:
-				if rec.NextID > maxID {
-					maxID = rec.NextID
-				}
-				// The header pins the stream position the snapshot covers;
-				// WAL records continue the sequence from here.
-				sh.snapSeq = rec.StreamSeq
-				return nil
-			case recRegister:
-				return replay(rec)
-			default:
-				return fmt.Errorf("%w: unexpected %q record in snapshot", ErrCorruptLog, rec.Type)
-			}
-		})
-		_ = snap.Close()
-		if rerr != nil {
-			if errors.Is(rerr, errTornTail) {
-				rerr = fmt.Errorf("%w: truncated snapshot %s", ErrCorruptLog, sh.snapPath)
-			}
-			return nil, 0, rerr
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, 0, fmt.Errorf("anonymizer: opening snapshot: %w", err)
+	snap, err := os.Open(sh.snapPath)
+	if os.IsNotExist(err) {
+		return sh, nil
 	}
-
-	wal, err := os.OpenFile(sh.walPath, os.O_CREATE|os.O_RDWR, 0o600)
 	if err != nil {
-		return nil, 0, fmt.Errorf("anonymizer: opening wal: %w", err)
+		return nil, fmt.Errorf("anonymizer: opening snapshot: %w", err)
 	}
-	sh.wal = wal
-	seq := sh.snapSeq
-	intact, rerr := readRecords(wal, func(rec *walRecord) error {
-		// A register may legitimately duplicate a snapshot entry (crash
-		// between snapshot rename and WAL truncation), and mutations whose
-		// target is unknown are skipped rather than fatal: recovery's job
-		// is to restore every consistent prefix. Both behaviors live in
-		// the replay mode of the shared apply.
-		if rec.Type == recSnapHeader {
-			return fmt.Errorf("%w: unexpected %q record in wal", ErrCorruptLog, rec.Type)
+	_, rerr := readRecords(snap, func(rec *walRecord) error {
+		switch rec.Type {
+		case recSnapHeader:
+			if rec.NextID > *maxID {
+				*maxID = rec.NextID
+			}
+			// The header pins the stream position the snapshot covers;
+			// log records continue the sequence from here.
+			sh.snapSeq = rec.StreamSeq
+			sh.snapSeqA.Store(rec.StreamSeq)
+			return nil
+		case recRegister:
+			m, err := mutationFromRecord(rec)
+			if err != nil {
+				return err
+			}
+			if n, ok := parseRegionID(rec.ID); ok && n > *maxID {
+				*maxID = n
+			}
+			applied, err := sh.tab.apply(m, applyReplay, openNow)
+			if err != nil {
+				return err
+			}
+			tally.note(m, applied)
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected %q record in snapshot", ErrCorruptLog, rec.Type)
 		}
-		seq = nextStreamSeq(seq, rec.Seq)
-		if err := replay(rec); err != nil {
-			return err
-		}
-		sh.walRecords++
-		return nil
 	})
-	if rerr != nil && !errors.Is(rerr, errTornTail) {
-		_ = wal.Close()
-		return nil, 0, fmt.Errorf("anonymizer: replaying %s: %w", sh.walPath, rerr)
-	}
-	end, err := wal.Seek(0, io.SeekEnd)
-	if err != nil {
-		_ = wal.Close()
-		return nil, 0, fmt.Errorf("anonymizer: wal seek: %w", err)
-	}
-	if end > intact {
-		// Torn tail: drop it so future appends extend an intact log.
-		s.stats.TruncatedBytes += end - intact
-		if err := wal.Truncate(intact); err != nil {
-			_ = wal.Close()
-			return nil, 0, fmt.Errorf("anonymizer: truncating torn wal tail: %w", err)
+	_ = snap.Close()
+	if rerr != nil {
+		if errors.Is(rerr, errTornTail) {
+			rerr = fmt.Errorf("%w: truncated snapshot %s", ErrCorruptLog, sh.snapPath)
 		}
-		if _, err := wal.Seek(intact, io.SeekStart); err != nil {
-			_ = wal.Close()
-			return nil, 0, fmt.Errorf("anonymizer: wal seek: %w", err)
-		}
+		return nil, rerr
 	}
-	sh.walSize = intact
-	sh.walEnd.Store(intact)
-	sh.streamSeq = seq
-	// The stream has fully replayed; reclaim whatever is dead at the open
-	// instant in one sweep (replay itself is expiry-blind so that touch
-	// records can renew leases that lapsed mid-log). Replicas skip the
-	// sweep entirely: their stream has no end — a renewal frame for a
-	// "dead" entry may still be in flight from the leader, and dropping
-	// the entry locally would make that frame a silent no-op. Lazy expiry
-	// keeps dead entries invisible to reads either way.
-	if !s.cfg.replica {
-		s.stats.Expired += sh.tab.dropExpiredLocked(openNow)
-	}
-	return sh, maxID, nil
+	return sh, nil
 }
 
 // parseRegionID extracts the counter value from an "r<n>" region ID.
@@ -606,17 +665,17 @@ func (s *DurableStore) shardFor(id string) *durableShard {
 	return s.shards[shardIndex(id, s.mask)]
 }
 
-// appendLocked journals one record to the shard's WAL under its lock,
-// stamping it with the next stream offset. On a partial write it rewinds
-// the file to the last intact record so later appends never extend a torn
-// frame. Durability is the caller's business: FsyncInterval marks the
-// shard dirty for the background syncer, and FsyncAlways callers wait on
-// the group commit after releasing the lock.
-func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
+// appendLocked journals one record to the unified log under the shard's
+// lock, stamping it with the shard's next stream offset. It returns the
+// log's logical end offset after the append — the group-commit wait
+// target. Durability is the caller's business: FsyncInterval leaves the
+// log dirty for the background syncer, and FsyncAlways callers wait on
+// the store-wide group commit after releasing the shard lock.
+func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) (int64, error) {
 	rec.Seq = sh.streamSeq + 1
 	frame, err := appendRecord(sh.buf, rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	sh.buf = frame
 	return s.writeFrameLocked(sh, frame, rec.Seq)
@@ -626,30 +685,27 @@ func (s *DurableStore) appendLocked(sh *durableShard, rec *walRecord) error {
 // exact bytes) at the given stream offset — the follower half of log
 // shipping: replicated shards stay byte-identical to the leader's stream,
 // CRC frames included, because the payload is never re-marshaled.
-func (s *DurableStore) appendRawLocked(sh *durableShard, payload []byte, seq uint64) error {
+func (s *DurableStore) appendRawLocked(sh *durableShard, payload []byte, seq uint64) (int64, error) {
 	frame, err := appendFrame(sh.buf, payload)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	sh.buf = frame
 	return s.writeFrameLocked(sh, frame, seq)
 }
 
-// writeFrameLocked writes one framed record and advances the shard's
-// bookkeeping (size, dirtiness, stream position).
-func (s *DurableStore) writeFrameLocked(sh *durableShard, frame []byte, seq uint64) error {
-	if _, err := sh.wal.Write(frame); err != nil {
-		_ = sh.wal.Truncate(sh.walSize)
-		_, _ = sh.wal.Seek(sh.walSize, io.SeekStart)
-		return fmt.Errorf("anonymizer: wal append: %w", err)
+// writeFrameLocked appends one framed record to the unified log and
+// advances the shard's bookkeeping (offset index, stream position).
+func (s *DurableStore) writeFrameLocked(sh *durableShard, frame []byte, seq uint64) (int64, error) {
+	loc, end, err := s.log.append(frame, sh.idx, seq)
+	if err != nil {
+		return 0, err
 	}
-	sh.dirty = true
-	sh.walSize += int64(len(frame))
-	sh.walEnd.Store(sh.walSize)
+	sh.entries = append(sh.entries, streamEntry{seq: seq, seg: loc.seg, off: loc.off, n: int32(len(frame))})
 	sh.walRecords++
 	sh.streamSeq = seq
 	s.recordsTotal.Add(1)
-	return nil
+	return end, nil
 }
 
 // mutate runs one lifecycle mutation through the event-sourced pipeline:
@@ -677,12 +733,11 @@ func (s *DurableStore) mutate(m *Mutation) error {
 		sh.mu.Unlock()
 		return err
 	}
-	if err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
+	off, err := s.appendLocked(sh, recordFromMutation(m))
+	if err != nil {
 		sh.mu.Unlock()
 		return err
 	}
-	off := sh.walSize
-	epoch := sh.gc.epochLocked()
 	if _, err := sh.tab.apply(m, applyLive, now); err != nil {
 		// check precedes apply under the same lock, so apply cannot fail;
 		// surface it loudly if the invariant ever breaks.
@@ -692,7 +747,7 @@ func (s *DurableStore) mutate(m *Mutation) error {
 	s.maybeSnapshotLocked(sh)
 	sh.mu.Unlock()
 	if s.cfg.fsync == FsyncAlways {
-		return sh.gc.wait(sh.wal, &sh.walEnd, off, epoch)
+		return s.gc.wait(s.log, off)
 	}
 	return nil
 }
@@ -821,7 +876,7 @@ func (s *DurableStore) SweepExpired() (int, error) {
 		}
 		for _, id := range ids {
 			m := &Mutation{Op: MutExpire, ID: id}
-			if err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
+			if _, err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
 				sh.mu.Unlock()
 				return n, err
 			}
@@ -865,12 +920,13 @@ func (s *DurableStore) maybeSnapshotLocked(sh *durableShard) {
 }
 
 // snapshotShardLocked writes the shard's live registrations to a fresh
-// snapshot (temp file + rename, so the snapshot is atomic), then resets
-// the WAL. Ordering matters: the snapshot is durable before the log is
-// truncated, so a crash at any point leaves either the old snapshot+log
-// or the new snapshot (possibly plus a log replaying idempotent records).
-// Pending group-commit waiters complete via the epoch bump: their records
-// are durable inside the just-synced snapshot.
+// snapshot (temp file + rename, so the snapshot is atomic), then drops
+// the shard's offset index and lets the unified log reclaim any segments
+// no shard needs anymore. Ordering matters: the snapshot is durable
+// before its log records become reclaimable, so a crash at any point
+// leaves either the old snapshot+log or the new snapshot (possibly plus
+// log records replaying idempotently — recovery skips records at or below
+// the snapshot's stream position).
 //
 // Compaction is also a reclamation point: expired registrations are
 // excluded from the snapshot and, once it is durable, dropped from
@@ -938,18 +994,15 @@ func (s *DurableStore) snapshotShardLocked(sh *durableShard) error {
 			return err
 		}
 	}
-	if err := sh.wal.Truncate(0); err != nil {
-		return fmt.Errorf("anonymizer: wal reset: %w", err)
-	}
-	if _, err := sh.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("anonymizer: wal reset seek: %w", err)
-	}
-	sh.walSize = 0
 	sh.walRecords = 0
-	sh.walEnd.Store(0)
-	sh.dirty = false
+	sh.entries = sh.entries[:0]
 	sh.snapSeq = sh.streamSeq
-	sh.gc.noteTruncate()
+	sh.snapSeqA.Store(sh.streamSeq)
+	// The log never truncates in place; instead whole segments whose every
+	// shard-tail is snapshot-covered are reclaimed. snapSeqA publishes this
+	// shard's new floor lock-free, because reclaim runs while OTHER shards'
+	// locks may be held by their own compactions.
+	s.log.reclaim(func(i int) uint64 { return s.shards[i].snapSeqA.Load() })
 	// The durable image no longer contains the expired entries skipped
 	// above; drop them from memory too (no expire record needed — there
 	// is nothing on disk left to cancel). Replicas kept them in the
@@ -1002,24 +1055,10 @@ func (s *DurableStore) Snapshot() error {
 	return nil
 }
 
-// Sync forces every shard's WAL to disk (under FsyncAlways a safety net;
+// Sync forces the unified log to disk (under FsyncAlways a safety net;
 // the group commit already synced every acknowledged record).
 func (s *DurableStore) Sync() error {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		var err error
-		if sh.dirty {
-			s.fsyncsTotal.Add(1)
-			if err = sh.wal.Sync(); err == nil {
-				sh.dirty = false
-			}
-		}
-		sh.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("anonymizer: wal sync: %w", err)
-		}
-	}
-	return nil
+	return s.log.sync()
 }
 
 // WALStats is the durable store's journaling counters, as exposed on
@@ -1029,28 +1068,35 @@ type WALStats struct {
 	// mutations and ingested stream frames; recovery replay not
 	// included).
 	Records int64
-	// Fsyncs counts WAL fsync calls of every kind: group-commit rounds,
-	// interval syncs, and explicit Sync calls.
+	// Fsyncs counts log fsync calls of every kind: group-commit rounds,
+	// interval syncs, rotation seals, and explicit Sync calls.
 	Fsyncs int64
-	// GroupCommitRounds counts leader fsyncs of the fsync=always group
-	// commit; GroupCommitWaits counts the mutations that entered it. The
-	// ratio waits/rounds is the amortization factor group commit buys.
-	GroupCommitRounds int64
-	GroupCommitWaits  int64
+	// GroupCommitRounds counts leader fsyncs of the store-wide
+	// fsync=always group commit; GroupCommitWaits counts the mutations
+	// that entered it. The ratio waits/rounds is the amortization factor
+	// group commit buys. GroupCommitLastCohort is the waiter count the
+	// most recent round released.
+	GroupCommitRounds     int64
+	GroupCommitWaits      int64
+	GroupCommitLastCohort int64
+	// LogBytes and LogSegments are the unified log's live on-disk
+	// footprint (reclaimed segments excluded).
+	LogBytes    int64
+	LogSegments int64
 }
 
 // WALStats snapshots the journaling counters.
 func (s *DurableStore) WALStats() WALStats {
-	st := WALStats{
-		Records: s.recordsTotal.Load(),
-		Fsyncs:  s.fsyncsTotal.Load(),
+	bytes, segs := s.log.stats()
+	return WALStats{
+		Records:               s.recordsTotal.Load(),
+		Fsyncs:                s.log.fsyncs.Load(),
+		GroupCommitRounds:     s.gc.rounds.Load(),
+		GroupCommitWaits:      s.gc.waits.Load(),
+		GroupCommitLastCohort: s.gc.lastCohort.Load(),
+		LogBytes:              bytes,
+		LogSegments:           int64(segs),
 	}
-	for _, sh := range s.shards {
-		st.GroupCommitRounds += sh.gc.rounds.Load()
-		st.GroupCommitWaits += sh.gc.waits.Load()
-	}
-	st.Fsyncs += st.GroupCommitRounds
-	return st
 }
 
 // Range calls fn for every live registration (expired-but-unswept entries
@@ -1095,18 +1141,9 @@ func (s *DurableStore) snapshotDirty() {
 	}
 }
 
-// closeShards closes whatever shard files recovery opened (failure path).
-func (s *DurableStore) closeShards() {
-	for _, sh := range s.shards {
-		if sh != nil && sh.wal != nil {
-			_ = sh.wal.Close()
-		}
-	}
-}
-
-// Close flushes and closes every shard. Operations issued after Close
-// fail with ErrStoreClosed; the on-disk state reopens to exactly the
-// acknowledged mutations.
+// Close flushes and closes the unified log. Operations issued after
+// Close fail with ErrStoreClosed; the on-disk state reopens to exactly
+// the acknowledged mutations.
 func (s *DurableStore) Close() error {
 	if s.closed.Swap(true) {
 		return nil
@@ -1118,19 +1155,5 @@ func (s *DurableStore) Close() error {
 	close(s.stop)
 	s.gcMu.Unlock()
 	s.bg.Wait()
-	var firstErr error
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		if sh.dirty {
-			if err := sh.wal.Sync(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			sh.dirty = false
-		}
-		if err := sh.wal.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		sh.mu.Unlock()
-	}
-	return firstErr
+	return s.log.close()
 }

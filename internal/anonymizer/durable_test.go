@@ -155,9 +155,49 @@ func TestDurableStoreCrashRecovery(t *testing.T) {
 	}
 }
 
-// TestDurableStoreToleratesTornTail cuts a WAL mid-record: recovery must
-// drop the torn record, keep everything before it, and keep the store
-// usable.
+// lastLogSegment returns dir's last non-empty unified-log segment — the
+// only file a crash can leave a torn tail in.
+func lastLogSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		p := filepath.Join(dir, names[i])
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() > 0 {
+			return p
+		}
+	}
+	t.Fatal("no non-empty log segment")
+	return ""
+}
+
+// logBytes sums dir's unified-log segment sizes.
+func logBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	names, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, name := range names {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestDurableStoreToleratesTornTail cuts the log mid-record: recovery
+// must drop the torn record, keep everything before it, and keep the
+// store usable.
 func TestDurableStoreToleratesTornTail(t *testing.T) {
 	dir := t.TempDir()
 	st, err := OpenDurableStore(dir,
@@ -177,7 +217,7 @@ func TestDurableStoreToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	walPath := filepath.Join(dir, "shard-0000.wal")
+	walPath := lastLogSegment(t, dir)
 	info, err := os.Stat(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +275,7 @@ func TestDurableStoreGarbageTail(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, "shard-0000.wal"), os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(lastLogSegment(t, dir), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,18 +377,15 @@ func TestDurableStoreSnapshotCompaction(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// The WAL holds at most the records since the last snapshot; with a
-	// threshold of 4 it must be far smaller than 20 full records.
+	// The log retains at most the records since the last snapshot (reclaim
+	// drops snapshot-covered segments); with a threshold of 4 it must be
+	// far smaller than 20 full records.
 	snap, err := os.Stat(filepath.Join(dir, "shard-0000.snap"))
 	if err != nil {
 		t.Fatalf("snapshot missing: %v", err)
 	}
-	wal, err := os.Stat(filepath.Join(dir, "shard-0000.wal"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if wal.Size() >= snap.Size() {
-		t.Errorf("wal (%d bytes) not compacted below snapshot (%d bytes)", wal.Size(), snap.Size())
+	if wal := logBytes(t, dir); wal >= snap.Size() {
+		t.Errorf("log (%d bytes) not compacted below snapshot (%d bytes)", wal, snap.Size())
 	}
 	st2 := openDurable(t, dir)
 	if got := st2.Len(); got != 20 {

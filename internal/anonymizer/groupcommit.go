@@ -1,37 +1,37 @@
 package anonymizer
 
 import (
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// groupCommit coalesces concurrent fsync=always waiters on one WAL into
-// one fsync per cohort. Appenders journal and apply their mutation under
-// the shard lock, release it, and then wait here for their record's byte
-// offset to become durable: the first waiter that finds no sync in flight
-// becomes the leader and fsyncs once on behalf of everything appended so
-// far, while the cohort just blocks on the condition variable. While the
-// leader's fsync runs, later appenders keep journaling and form the next
-// cohort, so the fsync cost is amortized over every record appended per
-// disk round-trip instead of being paid once per mutation (the E17
-// ~100µs/op tax; E18 measures the recovery).
+// groupCommit coalesces concurrent fsync=always waiters on the store's
+// unified log into one fsync per cohort. Appenders journal and apply
+// their mutation under their shard lock, release it, and then wait here
+// for their record's logical log offset to become durable: the first
+// waiter that finds no sync in flight becomes the leader and fsyncs once
+// on behalf of everything appended so far — ACROSS EVERY SHARD, which is
+// the point of the single-log layout: the per-shard engine ran one such
+// cohort per shard and the N fsyncs serialized in the filesystem
+// journal, so shard count multiplied the floor latency (E18/E21). While
+// the leader's fsync runs, later appenders keep journaling and form the
+// next cohort.
 //
-// Offsets are only meaningful within one WAL generation: snapshot
-// compaction truncates the log and bumps the epoch, and waiters from an
-// older epoch complete successfully at once — the snapshot that truncated
-// their records was itself fsynced before the truncation, so their
-// mutation is durable via the snapshot.
+// Offsets are logical and monotonic — the log only ever grows (reclaim
+// drops whole prefix segments without rewinding the append position) —
+// so there is no truncation epoch to track, unlike the per-shard
+// predecessor of this type.
 type groupCommit struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// syncing marks a leader's fsync in flight.
 	syncing bool
-	// synced is the highest WAL offset known durable in the current epoch.
+	// synced is the highest logical log offset known durable.
 	synced int64
-	// epoch counts WAL truncations (snapshot compactions).
-	epoch uint64
+	// queued is the number of waiters currently inside wait — the
+	// cohort-size gauge's raw reading.
+	queued int
 	// err/errSeq report failed sync rounds: every waiter that was already
 	// queued when a round failed observes the bumped errSeq and returns
 	// the error, because its record may be in the unsynced tail.
@@ -40,50 +40,28 @@ type groupCommit struct {
 
 	// rounds counts completed leader fsyncs and waits the mutations that
 	// entered the commit path — their ratio is the amortization factor
-	// exposed on /metrics.
-	rounds atomic.Int64
-	waits  atomic.Int64
+	// exposed on /metrics. lastCohort is the waiter count the most recent
+	// round released (the cohort-size gauge).
+	rounds     atomic.Int64
+	waits      atomic.Int64
+	lastCohort atomic.Int64
 }
 
-// init prepares the condition variable; call once at shard creation.
+// init prepares the condition variable; call once at store open.
 func (g *groupCommit) init() {
 	g.cond = sync.NewCond(&g.mu)
 }
 
-// epochLocked returns the current epoch. Call while holding the shard
-// lock, so the (offset, epoch) pair handed to wait is consistent with the
-// append it describes.
-func (g *groupCommit) epochLocked() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.epoch
-}
-
-// noteTruncate records a WAL truncation. Call while holding the shard
-// lock (truncation happens under it); pending waiters complete
-// successfully, their records being durable via the just-written
-// snapshot.
-func (g *groupCommit) noteTruncate() {
-	g.mu.Lock()
-	g.epoch++
-	g.synced = 0
-	g.cond.Broadcast()
-	g.mu.Unlock()
-}
-
-// wait blocks until the WAL is durably synced past off (an offset
-// captured in the given epoch), electing a sync leader as needed. end
-// reports the WAL's current append end without locks, so a leader covers
-// every record fully appended before its fsync begins.
-func (g *groupCommit) wait(wal *os.File, end *atomic.Int64, off int64, epoch uint64) error {
+// wait blocks until the log is durably synced past off (a logical offset
+// returned by storeLog.append), electing a sync leader as needed.
+func (g *groupCommit) wait(lg *storeLog, off int64) error {
 	g.waits.Add(1)
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.queued++
+	defer func() { g.queued-- }()
 	seq := g.errSeq
 	for {
-		if g.epoch != epoch {
-			return nil // truncated away: durable via the snapshot
-		}
 		if g.synced >= off {
 			return nil
 		}
@@ -92,33 +70,35 @@ func (g *groupCommit) wait(wal *os.File, end *atomic.Int64, off int64, epoch uin
 		}
 		if !g.syncing {
 			// Become the leader: sync once for the whole cohort. The
-			// target is read before the fsync, so only records the fsync
-			// is guaranteed to cover are marked durable.
+			// target is read before the fsync, so only offsets the fsync
+			// is guaranteed to cover are marked durable (bytes below the
+			// target live in sealed segments — durable since rotation —
+			// or in the active file syncActive flushes).
 			g.syncing = true
-			targetEpoch := g.epoch
 			g.mu.Unlock()
 			// Accumulation window: writers released by the previous round
 			// re-append within microseconds, so yielding a few times before
 			// reading the target folds them into this cohort instead of
 			// making them wait out two fsyncs. A handful of scheduler
 			// yields costs nanoseconds against a ~100µs fsync.
-			target := end.Load()
+			target := lg.end.Load()
 			for i := 0; i < 8; i++ {
 				runtime.Gosched()
-				if t := end.Load(); t <= target {
+				if t := lg.end.Load(); t <= target {
 					break
 				} else {
 					target = t
 				}
 			}
-			err := wal.Sync()
+			err := lg.syncActive()
 			g.rounds.Add(1)
 			g.mu.Lock()
 			g.syncing = false
+			g.lastCohort.Store(int64(g.queued))
 			if err != nil {
 				g.err = err
 				g.errSeq++
-			} else if g.epoch == targetEpoch && target > g.synced {
+			} else if target > g.synced {
 				g.synced = target
 			}
 			g.cond.Broadcast()

@@ -1,0 +1,315 @@
+package anonymizer
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// This file is the in-place layout migration from the version-1 data
+// directory (one WAL file per shard) to the version-2 unified log
+// (wal-NNNNNNNN.seg segments shared by every shard). OpenDurableStore
+// runs it automatically when it finds a version-1 META, so pre-upgrade
+// directories — and directories restored from backup archives, which
+// deliberately keep the per-shard interchange format — open without any
+// operator action.
+//
+// The migration is crash-safe by construction: everything is staged
+// under dir/migrate-tmp, the staged segments are renamed into dir, and
+// only then is the staged version-2 META renamed over the version-1 one.
+// That last rename is the commit point. A crash anywhere before it
+// leaves META at version 1 and every original file untouched, so the
+// next open simply redoes the migration from scratch (clearing whatever
+// the dead attempt staged or published); a crash after it leaves a valid
+// version-2 directory plus retired per-shard WALs, which the version-2
+// open path deletes. Snapshot files are shared by both layouts and are
+// never touched.
+
+// migrateTmpName is the staging directory a migration works in.
+const migrateTmpName = "migrate-tmp"
+
+// Migration crash-simulation hooks (nil in production). They are
+// package-level because migration runs before any DurableStore exists: a
+// non-nil error aborts exactly as a crash would, leaving the on-disk
+// state of the corresponding failure window — staged but unpublished, or
+// committed but not yet cleaned up.
+var (
+	hookBeforeMigratePublish func() error
+	hookAfterMigratePublish  func() error
+)
+
+// migrateStoreV1 rewrites dir from the version-1 layout to version 2,
+// returning the torn v1 WAL tail bytes it dropped (the same bytes a
+// version-1 open would have truncated). The per-shard record payloads
+// are carried over verbatim when they already embed their stream offset,
+// and re-stamped otherwise, so every record in the unified log is
+// self-describing — recovery re-derives (shard, seq) from the payload
+// alone, and a follower's byte-identical stream stays byte-identical
+// through the migration.
+func migrateStoreV1(dir string, shards int, segLimit int64) (int64, error) {
+	tmp := filepath.Join(dir, migrateTmpName)
+	// Clear the residue of an earlier attempt that crashed before the
+	// commit point: its staging dir and any segments it already
+	// published. The v1 files are still authoritative.
+	if err := os.RemoveAll(tmp); err != nil {
+		return 0, fmt.Errorf("anonymizer: clearing stale migration staging: %w", err)
+	}
+	if err := removeByPattern(dir, segFileName); err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(tmp, 0o700); err != nil {
+		return 0, fmt.Errorf("anonymizer: migration staging dir: %w", err)
+	}
+
+	st := &segmentStager{dir: tmp, limit: segLimit}
+	var truncated int64
+	var buf []byte
+	for i := 0; i < shards; i++ {
+		snapSeq, err := snapshotStreamSeq(filepath.Join(dir, shardSnapName(i)))
+		if err != nil {
+			return 0, err
+		}
+		walPath := filepath.Join(dir, shardWALName(i))
+		wal, err := os.ReadFile(walPath)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return 0, fmt.Errorf("anonymizer: migration wal read: %w", err)
+		}
+		seq := snapSeq
+		intact, rerr := readFrames(bytes.NewReader(wal), func(payload []byte) error {
+			var rec walRecord
+			if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+				return fmt.Errorf("%w: %v", ErrCorruptLog, jerr)
+			}
+			seq = nextStreamSeq(seq, rec.Seq)
+			if rec.Seq == 0 {
+				// A record from before stream offsets existed: stamp the
+				// offset recovery would assign it, so the unified log is
+				// fully self-describing. Stamped records are carried
+				// verbatim — re-framing re-derives the same CRC, so a
+				// follower's byte-identical stream stays byte-identical.
+				rec.Seq = seq
+				restamped, merr := json.Marshal(&rec)
+				if merr != nil {
+					return fmt.Errorf("anonymizer: re-stamping record: %w", merr)
+				}
+				payload = restamped
+			}
+			frame, ferr := appendFrame(buf, payload)
+			if ferr != nil {
+				return ferr
+			}
+			buf = frame
+			return st.append(frame)
+		})
+		if rerr != nil && !errors.Is(rerr, errTornTail) {
+			return 0, fmt.Errorf("anonymizer: migrating %s: %w", walPath, rerr)
+		}
+		// A torn v1 tail is dropped here exactly as a v1 open would have
+		// truncated it.
+		truncated += int64(len(wal)) - intact
+	}
+	if err := st.finish(); err != nil {
+		return 0, err
+	}
+
+	// Stage the version-2 META next to the segments, then publish:
+	// segments first, META rename last (the commit).
+	meta, err := encodeMetaVersion(shards, storeMetaVersion)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, metaFile), meta); err != nil {
+		return 0, err
+	}
+	if err := syncDir(tmp); err != nil {
+		return 0, err
+	}
+	if hookBeforeMigratePublish != nil {
+		if err := hookBeforeMigratePublish(); err != nil {
+			return 0, err
+		}
+	}
+	for _, name := range st.names {
+		if err := os.Rename(filepath.Join(tmp, name), filepath.Join(dir, name)); err != nil {
+			return 0, fmt.Errorf("anonymizer: migration publish: %w", err)
+		}
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(filepath.Join(tmp, metaFile), filepath.Join(dir, metaFile)); err != nil {
+		return 0, fmt.Errorf("anonymizer: migration commit: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	if hookAfterMigratePublish != nil {
+		if err := hookAfterMigratePublish(); err != nil {
+			return 0, err
+		}
+	}
+	if err := cleanupRetiredV1(dir); err != nil {
+		return 0, err
+	}
+	return truncated, nil
+}
+
+// cleanupRetiredV1 removes the artifacts a committed migration leaves
+// behind: the retired per-shard WAL files and the staging directory. The
+// version-2 open path also calls it, covering a crash between the commit
+// rename and this cleanup.
+func cleanupRetiredV1(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("anonymizer: migration cleanup: %w", err)
+	}
+	for _, e := range entries {
+		if m := storeFileName.FindStringSubmatch(e.Name()); m != nil && m[2] == "wal" {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("anonymizer: migration cleanup: %w", err)
+			}
+		}
+	}
+	if err := os.RemoveAll(filepath.Join(dir, migrateTmpName)); err != nil {
+		return fmt.Errorf("anonymizer: migration cleanup: %w", err)
+	}
+	return nil
+}
+
+// removeByPattern deletes dir entries whose names match re.
+func removeByPattern(dir string, re *regexp.Regexp) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("anonymizer: migration scan: %w", err)
+	}
+	for _, e := range entries {
+		if re.MatchString(e.Name()) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("anonymizer: migration cleanup: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotStreamSeq reads the stream position a shard snapshot covers
+// (0 when the shard has no snapshot).
+func snapshotStreamSeq(path string) (uint64, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("anonymizer: migration snapshot read: %w", err)
+	}
+	var seq uint64
+	if _, err := readRecords(bytes.NewReader(raw), func(rec *walRecord) error {
+		if rec.Type == recSnapHeader {
+			seq = rec.StreamSeq
+		}
+		return nil
+	}); err != nil {
+		if errors.Is(err, errTornTail) {
+			err = fmt.Errorf("%w: truncated snapshot %s", ErrCorruptLog, path)
+		}
+		return 0, err
+	}
+	return seq, nil
+}
+
+// writeFileSync writes content to path and fsyncs it (no rename; the
+// caller stages inside a directory that is published atomically).
+func writeFileSync(path string, content []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("anonymizer: staging %s: %w", filepath.Base(path), err)
+	}
+	_, err = f.Write(content)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("anonymizer: staging %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// segmentStager writes CRC frames into staged segment files with the
+// same rotation threshold the live log uses. Each completed file is
+// fsynced before the next begins, so the publish step moves only
+// fully-durable segments.
+type segmentStager struct {
+	dir   string
+	limit int64
+	idx   int
+	f     *os.File
+	size  int64
+	names []string
+}
+
+// append stages one framed record, rolling to a new segment when the
+// current one is full.
+func (st *segmentStager) append(frame []byte) error {
+	if st.f != nil && st.size > 0 && st.size+int64(len(frame)) > st.limit {
+		if err := st.closeCurrent(); err != nil {
+			return err
+		}
+	}
+	if st.f == nil {
+		if err := st.open(); err != nil {
+			return err
+		}
+	}
+	if _, err := st.f.Write(frame); err != nil {
+		return fmt.Errorf("anonymizer: migration append: %w", err)
+	}
+	st.size += int64(len(frame))
+	return nil
+}
+
+// open starts the next staged segment.
+func (st *segmentStager) open() error {
+	st.idx++
+	name := segName(st.idx)
+	f, err := os.OpenFile(filepath.Join(st.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("anonymizer: migration segment: %w", err)
+	}
+	st.f, st.size = f, 0
+	st.names = append(st.names, name)
+	return nil
+}
+
+// closeCurrent fsyncs and closes the staged segment in progress.
+func (st *segmentStager) closeCurrent() error {
+	err := st.f.Sync()
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	st.f = nil
+	if err != nil {
+		return fmt.Errorf("anonymizer: migration segment sync: %w", err)
+	}
+	return nil
+}
+
+// finish seals the stager, guaranteeing at least one (possibly empty)
+// segment so the published directory always has an active log file.
+func (st *segmentStager) finish() error {
+	if st.f == nil {
+		if err := st.open(); err != nil {
+			return err
+		}
+	}
+	return st.closeCurrent()
+}

@@ -1,6 +1,8 @@
 package anonymizer
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -59,7 +61,7 @@ func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*Resh
 	if shards < 1 {
 		return nil, fmt.Errorf("%w: reshard to %d shards", ErrBadOp, shards)
 	}
-	srcShards, err := readMeta(srcDir)
+	srcShards, srcVersion, err := readMeta(srcDir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("anonymizer: %s is not a durable data directory (no %s)", srcDir, metaFile)
@@ -101,9 +103,15 @@ func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*Resh
 		return nil
 	}
 
-	for i := 0; i < srcShards; i++ {
-		if err := reshardShard(srcDir, i, stats, &maxID, ingest); err != nil {
+	if srcVersion >= 2 {
+		if err := reshardV2Source(srcDir, srcShards, stats, &maxID, ingest); err != nil {
 			return nil, err
+		}
+	} else {
+		for i := 0; i < srcShards; i++ {
+			if err := reshardShard(srcDir, i, stats, &maxID, ingest); err != nil {
+				return nil, err
+			}
 		}
 	}
 	stats.TrustUpdates = tally.TrustUpdates
@@ -192,6 +200,53 @@ func reshardShard(
 	return nil
 }
 
+// reshardV2Source streams every shard of a unified-log source directory —
+// snapshot records first, then the shard's post-snapshot log records —
+// into ingest, reading strictly read-only. The per-shard ordering matches
+// reshardShard's, so the destination is independent of the source layout.
+func reshardV2Source(
+	srcDir string,
+	srcShards int,
+	stats *ReshardStats,
+	maxID *uint64,
+	ingest func(*walRecord) error,
+) error {
+	streams, truncated, err := readDirStreams(srcDir, srcShards)
+	if err != nil {
+		return err
+	}
+	stats.TruncatedBytes += truncated
+	for i := range streams {
+		st := &streams[i]
+		if len(st.snap) > 0 {
+			if _, err := readRecords(bytes.NewReader(st.snap), func(rec *walRecord) error {
+				if rec.Type == recSnapHeader {
+					if rec.NextID > *maxID {
+						*maxID = rec.NextID
+					}
+					return nil
+				}
+				if rec.Type != recRegister {
+					return fmt.Errorf("%w: unexpected %q record in snapshot", ErrCorruptLog, rec.Type)
+				}
+				return ingest(rec)
+			}); err != nil {
+				return err
+			}
+		}
+		for _, fr := range st.frames {
+			var rec walRecord
+			if err := json.Unmarshal(fr.payload, &rec); err != nil {
+				return fmt.Errorf("%w: %v", ErrCorruptLog, err)
+			}
+			if err := ingest(&rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // ingest journals and applies one replayed mutation during an offline
 // migration — the write path of Reshard. It routes through the same
 // appendLocked + regTable.apply pair as the live mutate path, but in
@@ -201,7 +256,7 @@ func (s *DurableStore) ingest(m *Mutation, openNow int64) (bool, error) {
 	sh := s.shardFor(m.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
+	if _, err := s.appendLocked(sh, recordFromMutation(m)); err != nil {
 		return false, err
 	}
 	applied, err := sh.tab.apply(m, applyReplay, openNow)

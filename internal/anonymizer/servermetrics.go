@@ -183,6 +183,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP anonymizer_wal_group_commit_waits_total Mutations that waited on a group commit.\n")
 		fmt.Fprintf(w, "# TYPE anonymizer_wal_group_commit_waits_total counter\n")
 		fmt.Fprintf(w, "anonymizer_wal_group_commit_waits_total %d\n", ws.GroupCommitWaits)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_group_commit_last_cohort Mutations released by the most recent group-commit round.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_group_commit_last_cohort gauge\n")
+		fmt.Fprintf(w, "anonymizer_wal_group_commit_last_cohort %d\n", ws.GroupCommitLastCohort)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_log_bytes Unified-log on-disk footprint (reclaimed segments excluded).\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_log_bytes gauge\n")
+		fmt.Fprintf(w, "anonymizer_wal_log_bytes %d\n", ws.LogBytes)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_log_segments Unified-log segment files on disk.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_log_segments gauge\n")
+		fmt.Fprintf(w, "anonymizer_wal_log_segments %d\n", ws.LogSegments)
+		fmt.Fprintf(w, "# HELP anonymizer_wal_fsync_duration_seconds WAL fsync latency (all policies).\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_wal_fsync_duration_seconds histogram\n")
+		writeFsyncHistogram(w, &ds.log.hist)
 		fmt.Fprintf(w, "# HELP anonymizer_snapshots_total Shard WAL compactions performed.\n")
 		fmt.Fprintf(w, "# TYPE anonymizer_snapshots_total counter\n")
 		fmt.Fprintf(w, "anonymizer_snapshots_total %d\n", ds.Snapshots())
@@ -240,6 +252,24 @@ func writeOpHistogram(w io.Writer, op string, m *opMetrics) {
 	fmt.Fprintf(w, "anonymizer_op_duration_seconds_sum{op=%q} %g\n",
 		op, float64(m.sumNanos.Load())/float64(time.Second))
 	fmt.Fprintf(w, "anonymizer_op_duration_seconds_count{op=%q} %d\n", op, count)
+}
+
+// writeFsyncHistogram renders the WAL fsync-latency histogram. Unlike
+// the per-op histograms it is emitted even when empty: an fsync=interval
+// store can legitimately go scrapes without a sync, and alert rules need
+// the series to exist before the first one.
+func writeFsyncHistogram(w io.Writer, h *fsyncHist) {
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "anonymizer_wal_fsync_duration_seconds_bucket{le=%q} %d\n",
+			formatBound(ub), cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(w, "anonymizer_wal_fsync_duration_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "anonymizer_wal_fsync_duration_seconds_sum %g\n",
+		float64(h.sumNanos.Load())/float64(time.Second))
+	fmt.Fprintf(w, "anonymizer_wal_fsync_duration_seconds_count %d\n", count)
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do

@@ -1,19 +1,20 @@
 package anonymizer
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // This file is the mutation-stream face of the durable store: the same
-// per-shard WAL that makes the store crash-safe, consumable as an
-// addressable stream. Every mutation record carries a monotonic per-shard
+// unified log that makes the store crash-safe, consumable as per-shard
+// addressable streams (each shard's offset index maps stream positions
+// to frames in the shared segments). Every mutation record carries a monotonic per-shard
 // stream offset (walRecord.Seq, preserved across snapshot compactions by
 // the snapshot header's StreamSeq), a Watermark names a position across
 // all shards, TailFrom serves the records after a position, and
@@ -126,8 +127,11 @@ func (s *DurableStore) Watermark() Watermark {
 //   - ErrBadOp when after lies beyond the shard's end (the consumer's
 //     position comes from a different history).
 //
-// max <= 0 means no bound. The shard's read lock is held while the WAL
-// prefix is copied, exactly like a hot backup of the shard.
+// max <= 0 means no bound. The shard's offset index maps each stream
+// position to its frame in the unified log; the read lock is held across
+// the reads, which pins the shard's snapSeq and thereby (segment reclaim
+// only deletes snapshot-covered prefixes) every segment the index points
+// into.
 func (s *DurableStore) TailFrom(shard int, after uint64, max int) ([]StreamFrame, uint64, error) {
 	if shard < 0 || shard >= len(s.shards) {
 		return nil, 0, fmt.Errorf("%w: shard %d of %d", ErrBadOp, shard, len(s.shards))
@@ -137,47 +141,33 @@ func (s *DurableStore) TailFrom(shard int, after uint64, max int) ([]StreamFrame
 	}
 	sh := s.shards[shard]
 	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	end := sh.streamSeq
-	snapSeq := sh.snapSeq
-	var wal []byte
-	var err error
-	if after < end && sh.walSize > 0 {
-		wal, err = readPrefix(sh.walPath, sh.walSize)
-	}
-	sh.mu.RUnlock()
 	switch {
 	case after > end:
 		return nil, end, fmt.Errorf("%w: offset %d beyond shard %d end %d",
 			ErrBadOp, after, shard, end)
 	case after == end:
 		return nil, end, nil
-	case after < snapSeq:
+	case after < sh.snapSeq:
 		return nil, end, fmt.Errorf("%w: shard %d offset %d, oldest streamable %d",
-			ErrStreamGap, shard, after, snapSeq)
+			ErrStreamGap, shard, after, sh.snapSeq)
 	}
-	if err != nil {
-		return nil, end, fmt.Errorf("anonymizer: stream read: %w", err)
-	}
+	first := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].seq > after })
 	var frames []StreamFrame
-	seq := snapSeq
-	_, err = readFrames(bytes.NewReader(wal), func(payload []byte) error {
-		var hdr struct {
-			Seq uint64 `json:"seq"`
+	for _, e := range sh.entries[first:] {
+		if max > 0 && len(frames) >= max {
+			break
 		}
-		if jerr := json.Unmarshal(payload, &hdr); jerr != nil {
-			return fmt.Errorf("%w: %v", ErrCorruptLog, jerr)
+		frame := make([]byte, e.n)
+		if _, err := e.seg.f.ReadAt(frame, e.off); err != nil {
+			return nil, end, fmt.Errorf("anonymizer: stream read: %w", err)
 		}
-		seq = nextStreamSeq(seq, hdr.Seq)
-		if seq <= after || (max > 0 && len(frames) >= max) {
-			return nil
+		payload, err := framePayload(frame)
+		if err != nil {
+			return nil, end, err
 		}
-		frames = append(frames, StreamFrame{
-			Shard: shard, Seq: seq, Rec: json.RawMessage(append([]byte(nil), payload...)),
-		})
-		return nil
-	})
-	if err != nil && !errors.Is(err, errTornTail) {
-		return nil, end, err
+		frames = append(frames, StreamFrame{Shard: shard, Seq: e.seq, Rec: json.RawMessage(payload)})
 	}
 	return frames, end, nil
 }
@@ -185,8 +175,8 @@ func (s *DurableStore) TailFrom(shard int, after uint64, max int) ([]StreamFrame
 // IngestFrame journals and applies one shipped mutation record — the
 // follower half of log shipping, and the apply path of incremental
 // restore. It is the same journal-then-apply pipeline the live mutate
-// path and recovery use: the payload is appended to the shard WAL
-// verbatim (so the follower's log stays byte-identical to the leader's)
+// path and recovery use: the payload is appended to the unified log
+// verbatim (so the follower's stream stays byte-identical to the leader's)
 // and the decoded mutation routes through regTable.apply in replay mode.
 //
 // Frames at or below the shard's current position are duplicates and are
@@ -235,7 +225,7 @@ func (s *DurableStore) IngestFrame(f StreamFrame) (bool, error) {
 		return false, fmt.Errorf("%w: shard %d at %d, frame at %d",
 			ErrStreamGap, f.Shard, sh.streamSeq, f.Seq)
 	}
-	if err := s.appendRawLocked(sh, payload, f.Seq); err != nil {
+	if _, err := s.appendRawLocked(sh, payload, f.Seq); err != nil {
 		return false, err
 	}
 	s.noteIssuedID(m.ID)

@@ -197,6 +197,28 @@ func readRecords(r io.Reader, fn func(*walRecord) error) (int64, error) {
 // prefix before the returned offset is intact.
 var errTornTail = errors.New("anonymizer: torn log tail")
 
+// framePayload validates frame as exactly one CRC frame and returns its
+// payload (aliasing frame's storage). Stream readers use it on frames
+// fetched by offset from the unified log, where the index already knows
+// each frame's size — a mismatch means the index and the file disagree,
+// which is corruption, never a torn tail.
+func framePayload(frame []byte) ([]byte, error) {
+	if len(frame) < walHeaderSize {
+		return nil, fmt.Errorf("%w: short frame", ErrCorruptLog)
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	want := binary.LittleEndian.Uint32(frame[4:8])
+	payload := frame[walHeaderSize:]
+	if int64(n) != int64(len(payload)) {
+		return nil, fmt.Errorf("%w: frame length %d, have %d payload bytes",
+			ErrCorruptLog, n, len(payload))
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: frame checksum mismatch", ErrCorruptLog)
+	}
+	return payload, nil
+}
+
 // nextStreamSeq advances a running per-shard stream position past one
 // record: records stamped with an offset pin the position exactly, and
 // records written before stream offsets existed (Seq 0) count up from

@@ -145,6 +145,99 @@ func E18GroupCommit(env *Env) (*metrics.Table, error) {
 	return tab, nil
 }
 
+// E21GroupCommitBatching measures the store-wide group commit of the
+// unified log: under fsync=always one leader fsync covers appends from
+// EVERY shard, so the fsync amortization tracks total writer concurrency
+// rather than writers-per-shard. The sweep crosses writer counts with
+// shard counts; under the retired per-shard WAL layout, spreading writers
+// over 16 shards collapsed the cohorts (each shard fsynced its own file,
+// so fsyncs/op stayed near 1), while with the single log the shard count
+// is irrelevant to the fsync rate. "fsyncs/op" is the measured number of
+// fsync calls per registration — the figure group commit exists to drive
+// toward 1/cohort-size.
+func E21GroupCommitBatching(env *Env) (*metrics.Table, error) {
+	reg, err := e17Registration(env)
+	if err != nil {
+		return nil, err
+	}
+	ops := 100 * env.Opts.Trials
+	writerCounts := []int{1, 4, 16, 64}
+	shardCounts := []int{1, 4, 16}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("E21: store-wide group commit batching (%d registrations, fsync=always)", ops),
+		"shards", "workers", "regs/s", "us/op", "fsyncs/op")
+	for _, shards := range shardCounts {
+		for _, workers := range writerCounts {
+			rate, fsyncsPerOp, err := groupCommitStep(reg, ops, workers, shards)
+			if err != nil {
+				return nil, fmt.Errorf("E21 shards=%d workers=%d: %w", shards, workers, err)
+			}
+			tab.AddRow(
+				fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%.0f", rate),
+				fmt.Sprintf("%.1f", 1e6/rate),
+				fmt.Sprintf("%.3f", fsyncsPerOp),
+			)
+		}
+	}
+	return tab, nil
+}
+
+// groupCommitStep times ops fsync=always registrations against a
+// shards-wide store and returns the rate plus measured fsyncs per
+// registration (from the store's own WAL counters, load-window only).
+func groupCommitStep(
+	reg *anonymizer.Registration,
+	ops, workers, shards int,
+) (rate, fsyncsPerOp float64, err error) {
+	dir, err := os.MkdirTemp("", "reversecloak-e21-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	ds, err := anonymizer.OpenDurableStore(dir,
+		anonymizer.WithFsyncPolicy(anonymizer.FsyncAlways),
+		anonymizer.WithDurableShards(shards))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = ds.Close() }()
+
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	fsyncs0 := ds.WALStats().Fsyncs
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < ops; i += workers {
+				if _, rerr := ds.Register(reg); rerr != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = rerr
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	rate = float64(ops) / elapsed.Seconds()
+	fsyncsPerOp = float64(ds.WALStats().Fsyncs-fsyncs0) / float64(ops)
+	return rate, fsyncsPerOp, nil
+}
+
 // registerStep times ops registrations against one store configuration
 // and returns the rate plus the on-disk bytes written per registration
 // (E17 and E18 share it).
@@ -204,7 +297,8 @@ func registerStep(
 		entries, derr := os.ReadDir(dir)
 		if derr == nil {
 			for _, e := range entries {
-				if filepath.Ext(e.Name()) == ".wal" || filepath.Ext(e.Name()) == ".snap" {
+				switch filepath.Ext(e.Name()) {
+				case ".wal", ".snap", ".seg":
 					if info, ierr := e.Info(); ierr == nil {
 						onDisk += info.Size()
 					}

@@ -39,6 +39,7 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E17", "durable store overhead by fsync policy", wrap(E17DurabilityOverhead)},
 		{"E18", "group commit fsync=always recovery", wrap(E18GroupCommit)},
 		{"E19", "replicated read throughput and lag", wrap(E19ReplicatedReads)},
+		{"E21", "store-wide group commit batching", wrap(E21GroupCommitBatching)},
 	}
 }
 
