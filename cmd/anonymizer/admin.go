@@ -139,6 +139,20 @@ func shipArchive(out string, archive *bytes.Buffer) error {
 	return nil
 }
 
+// masterKeyOpts loads an optional master key file into durability
+// options: directories holding derived-key registrations cannot open
+// without the keyring. An empty path yields no options.
+func masterKeyOpts(path string) ([]rc.DurabilityOption, error) {
+	if path == "" {
+		return nil, nil
+	}
+	kr, err := rc.LoadMasterKeys(path)
+	if err != nil {
+		return nil, err
+	}
+	return []rc.DurabilityOption{rc.WithKeyring(kr)}, nil
+}
+
 // runRestore seeds a fresh data directory from a backup archive — or,
 // with -apply, extends an existing directory with an incremental
 // archive (every delta record lands through the same journal+apply
@@ -151,12 +165,17 @@ func runRestore(argv []string) error {
 		in      = fs.String("in", "-", `archive source: a file path or "-" for stdin`)
 		dataDir = fs.String("data-dir", "", "data directory to create (or, with -apply, to extend)")
 		apply   = fs.Bool("apply", false, "apply an incremental archive onto an existing data directory")
+		keyFile = fs.String("master-key-file", "", "master key file for archives holding derived-key registrations")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 	if *dataDir == "" {
 		return fmt.Errorf("-data-dir is required")
+	}
+	durOpts, err := masterKeyOpts(*keyFile)
+	if err != nil {
+		return err
 	}
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -168,7 +187,7 @@ func runRestore(argv []string) error {
 		r = f
 	}
 	if *apply {
-		stats, err := rc.ApplyIncremental(r, *dataDir)
+		stats, err := rc.ApplyIncremental(r, *dataDir, durOpts...)
 		if err != nil {
 			return err
 		}
@@ -180,7 +199,7 @@ func runRestore(argv []string) error {
 		return err
 	}
 	// Open once to report what the directory will recover to.
-	st, err := rc.OpenDurableStore(*dataDir)
+	st, err := rc.OpenDurableStore(*dataDir, durOpts...)
 	if err != nil {
 		return fmt.Errorf("restored directory does not open: %w", err)
 	}
@@ -195,9 +214,10 @@ func runRestore(argv []string) error {
 func runReshard(argv []string) error {
 	fs := flag.NewFlagSet("reshard", flag.ExitOnError)
 	var (
-		src    = fs.String("src", "", "source data directory (server must be stopped)")
-		dst    = fs.String("dst", "", "destination data directory (must not exist or be empty)")
-		shards = fs.Int("shards", 0, "target shard count (rounded up to a power of two)")
+		src     = fs.String("src", "", "source data directory (server must be stopped)")
+		dst     = fs.String("dst", "", "destination data directory (must not exist or be empty)")
+		shards  = fs.Int("shards", 0, "target shard count (rounded up to a power of two)")
+		keyFile = fs.String("master-key-file", "", "master key file for directories holding derived-key registrations")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -205,7 +225,11 @@ func runReshard(argv []string) error {
 	if *src == "" || *dst == "" || *shards < 1 {
 		return fmt.Errorf("-src, -dst and -shards are required")
 	}
-	stats, err := rc.Reshard(*src, *dst, *shards)
+	durOpts, err := masterKeyOpts(*keyFile)
+	if err != nil {
+		return err
+	}
+	stats, err := rc.Reshard(*src, *dst, *shards, durOpts...)
 	if err != nil {
 		return err
 	}
@@ -247,6 +271,7 @@ func runDump(argv []string) error {
 		seedStr = fs.String("seed", "reversecloak-default-map-seed-01", "map+workload seed the server ran with")
 		cars    = fs.Int("cars", 2000, "workload size the server ran with")
 		rpleT   = fs.Int("rple-list", 16, "RPLE transition list length T the server ran with")
+		keyFile = fs.String("master-key-file", "", "master key file for directories holding derived-key registrations")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -270,7 +295,11 @@ func runDump(argv []string) error {
 		return err
 	}
 
-	st, err := rc.OpenDurableStore(*dataDir)
+	durOpts, err := masterKeyOpts(*keyFile)
+	if err != nil {
+		return err
+	}
+	st, err := rc.OpenDurableStore(*dataDir, durOpts...)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 //	anonymizer serve   -addr :7080 -map small      # run the trusted server
 //	anonymizer serve   -addr :7081 -data-dir d2 -replicate-from :7080
 //	anonymizer serve   -addr :7080 -tenants tenants.json -admin-addr :9090
+//	anonymizer serve   -addr :7080 -data-dir d1 -master-key-file keys.json
 //	anonymizer loadgen -addr :7080 -clients 1,4,16,64
 //	anonymizer loadgen -addr :7080 -tenant fleet -token SECRET
 //	anonymizer backup  -addr :7080 -out backup.rca # hot backup a live server
@@ -26,8 +27,13 @@
 // loadgen sweeps the number of concurrent clients against a running server
 // and reports req/s per step, demonstrating how the sharded, pipelined
 // service scales with cores (with -read-addr it aims reads at a follower).
-// backup/restore/reshard/dump are the data-dir lifecycle tools, and
-// serve -replicate-from / status / promote are the replication tools.
+// backup/restore/reshard/dump are the data-dir lifecycle tools (each of
+// restore/reshard/dump takes -master-key-file when the directory holds
+// derived-key registrations), and serve -replicate-from / status /
+// promote are the replication tools. With serve -master-key-file the
+// server derives per-registration cloak keys from the epoch'd master
+// keyring instead of journaling them (rotation is an edit to the file,
+// hot-reloaded every -master-key-reload).
 // With serve -tenants the server authenticates and rate-limits every
 // connection (loadgen/backup/status/promote then take -tenant/-token),
 // and -admin-addr exposes /metrics, /healthz, /readyz and pprof on a

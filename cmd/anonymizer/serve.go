@@ -58,6 +58,11 @@ func runServe(argv []string) error {
 		gcInterval = fs.Duration("gc-interval", rc.DefaultGCInterval,
 			"expiry sweep period (0 disables the sweeper)")
 
+		masterKeyFile = fs.String("master-key-file", "",
+			"master key file (JSON): derive per-registration cloak keys from its active epoch instead of storing them")
+		masterKeyReload = fs.Duration("master-key-reload", 2*time.Second,
+			"poll the master key file for epoch rotations on this period (0 disables hot reload)")
+
 		dataDir = fs.String("data-dir", "",
 			"durable store directory; empty serves from memory only")
 		fsyncStr = fs.String("fsync", "interval",
@@ -109,6 +114,22 @@ func runServe(argv []string) error {
 			reg.Len(), *tenantsFile, *tenantsReload)
 		opts = append(opts, rc.WithTenants(reg))
 	}
+	var keyring *rc.Keyring
+	if *masterKeyFile != "" {
+		keyring, err = rc.LoadMasterKeys(*masterKeyFile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = keyring.Close() }()
+		if *masterKeyReload > 0 {
+			keyring.Watch(*masterKeyReload, func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			})
+		}
+		fmt.Printf("master keys: %s (active epoch %d, %d epochs, reload every %s)\n",
+			*masterKeyFile, keyring.ActiveEpoch(), len(keyring.Epochs()), *masterKeyReload)
+		opts = append(opts, rc.WithMasterKeyring(keyring))
+	}
 	if *advertise == "" {
 		*advertise = *addr
 	}
@@ -130,6 +151,9 @@ func runServe(argv []string) error {
 		}
 		if *snapInterval > 0 {
 			durOpts = append(durOpts, rc.WithSnapshotInterval(*snapInterval))
+		}
+		if keyring != nil {
+			durOpts = append(durOpts, rc.WithKeyring(keyring))
 		}
 		upstreamCodec, err := rc.ParseCodec(*replCodec)
 		if err != nil {
@@ -169,6 +193,9 @@ func runServe(argv []string) error {
 		}
 		if *shards > 0 {
 			durOpts = append(durOpts, rc.WithDurableShards(*shards))
+		}
+		if keyring != nil {
+			durOpts = append(durOpts, rc.WithKeyring(keyring))
 		}
 		// Open the store ourselves (rather than via WithDurability) so we
 		// can report what recovery found before serving traffic.

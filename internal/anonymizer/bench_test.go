@@ -5,7 +5,9 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/reversecloak/reversecloak/internal/accessctl"
 	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
 	"github.com/reversecloak/reversecloak/internal/mapgen"
 	"github.com/reversecloak/reversecloak/internal/profile"
 	"github.com/reversecloak/reversecloak/internal/roadnet"
@@ -214,6 +216,57 @@ func BenchmarkWALAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Register(reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReduceDerived measures the derive-on-reduce path of a
+// derived-keys registration: every reduce re-derives the per-level keys
+// through HKDF from the master keyring (nothing is cached), then peels
+// the region. Level 0 is the worst case — every level's key is derived
+// and used. scripts/check-allocs.sh gates its allocs/op against
+// testdata/alloc_baseline.json.
+func BenchmarkReduceDerived(b *testing.B) {
+	g, err := mapgen.Grid(16, 16, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	density := func(roadnet.SegmentID) int { return 4 }
+	engine, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kr, err := keys.NewKeyring(1, map[uint32][]byte{
+		1: []byte("bench-reduce-derived-master-secret-0001"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profile.Profile{Levels: []profile.Level{{K: 6, L: 3}, {K: 14, L: 6}}}
+	const id = "r-bench-derived"
+	ks, err := kr.DeriveSet(1, id, len(prof.Levels))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var region *cloak.CloakedRegion
+	for u := 0; u < g.NumSegments() && region == nil; u++ {
+		region, _, _ = engine.Anonymize(cloak.Request{
+			UserSegment: roadnet.SegmentID(u), Profile: prof, Keys: ks.All(),
+		})
+	}
+	if region == nil {
+		b.Fatal("no feasible cloak on the bench grid")
+	}
+	policy, err := accessctl.NewPolicy(len(prof.Levels), len(prof.Levels))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewDerivedRegistration(region, kr, 1, id, len(prof.Levels), policy)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Reduce(engine, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -63,9 +64,15 @@ func digestStore(
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Resolve keys through the registration (stored material or a fresh
+		// derivation) so v2 and v3 stores digest through the same surface.
+		ks, err := reg.keys()
+		if err != nil {
+			t.Fatalf("keys(%q): %v", id, err)
+		}
 		d := &regDigest{
 			Region:    string(raw),
-			Keys:      reg.keySet.EncodeHex(),
+			Keys:      ks.EncodeHex(),
 			Default:   reg.policy.DefaultLevel(),
 			Grants:    reg.policy.Grants(),
 			ExpiresAt: reg.expiresAt,
@@ -265,6 +272,238 @@ func conformanceTrial(t *testing.T, seed int64, shards int, reshardTo []int) {
 				t.Fatalf("reshard(%d->%d): reissued id %q", shards, k, id)
 			}
 		}
+	}
+}
+
+// derivationTrial is the schema-v2/v3 equivalence arm: one randomized
+// mutation log is driven, step for step, against a stored-keys store and
+// a derived-keys twin whose key material comes from the same HKDF
+// derivations. Every visible digest — regions, keys, policies, expiry,
+// reductions at every level — and the replication watermarks must match,
+// the derived store must journal strictly fewer durable bytes, and the
+// derived side must survive backup→restore and reshard across the schema
+// boundary (and refuse to open without its keyring).
+func derivationTrial(t *testing.T, seed int64, shards int, reshardTo []int) {
+	rng := rand.New(rand.NewSource(seed))
+	clk := newFakeClock()
+	g, density := testGrid(t)
+	engine, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := testMasterKeyring(t)
+	epoch := kr.ActiveEpoch()
+
+	derivedDir := filepath.Join(t.TempDir(), "derived")
+	storedDir := filepath.Join(t.TempDir(), "stored")
+	common := []DurabilityOption{
+		WithDurableShards(shards),
+		WithSnapshotEvery(7),
+		WithGCInterval(0),
+		withDurableClock(clk.Now),
+	}
+	sst := openDurable(t, storedDir, common...)
+	dst, err := OpenDurableStore(derivedDir, append([]DurabilityOption{WithKeyring(kr)}, common...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dst.Close() }()
+
+	var ids []string
+	engineMade := make(map[string]bool)
+	// register cuts one region keyed by HKDF(epoch, id) and registers it in
+	// both stores: as stored material in sst, as a key reference in dst.
+	// Allocating the ID up front on both sides keeps their sequences in
+	// lockstep (the stored side's Register draws the ID we predicted).
+	register := func(levels int, fromEngine bool) {
+		id := dst.AllocateID()
+		ks, err := kr.DeriveSet(epoch, id, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var region *cloak.CloakedRegion
+		if fromEngine {
+			user := roadnet.SegmentID(10 + rng.Intn(150))
+			region, _, err = engine.Anonymize(cloak.Request{
+				UserSegment: user, Profile: testProfile(), Keys: ks.All(),
+			})
+			if err != nil {
+				// Infeasible cloak: burn the stored side's ID too so the
+				// allocator sequences stay in lockstep.
+				sst.AllocateID()
+				return
+			}
+		} else {
+			region = fakeRegistration(t, levels).region
+		}
+		newPolicy := func() *accessctl.Policy {
+			p, err := accessctl.NewPolicy(levels, levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		sreg := NewRegistration(region, ks, newPolicy())
+		dreg := NewDerivedRegistration(region, kr, epoch, id, levels, newPolicy())
+		switch rng.Intn(3) {
+		case 0:
+			exp := clk.Now().Add(time.Duration(1+rng.Intn(40)) * time.Second)
+			sreg.SetExpiry(exp)
+			dreg.SetExpiry(exp)
+		case 1:
+			exp := clk.Now().Add(time.Hour)
+			sreg.SetExpiry(exp)
+			dreg.SetExpiry(exp)
+		}
+		// The stored twin draws the ID we pre-allocated; the derived one
+		// registers under its key reference.
+		sid, err := sst.Register(sreg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		did, err := dst.Register(dreg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid != id || did != id {
+			t.Fatalf("registered under (%q, %q), want %q", sid, did, id)
+		}
+		ids = append(ids, id)
+		if fromEngine {
+			engineMade[id] = true
+		}
+	}
+
+	engineRegs, fakeRegs := 8, 24
+	ops := 60
+	if testing.Short() {
+		engineRegs, fakeRegs, ops = 4, 10, 24
+	}
+	for i := 0; i < engineRegs; i++ {
+		register(2, true)
+	}
+	for i := 0; i < fakeRegs; i++ {
+		register(1+rng.Intn(3), false)
+	}
+
+	// One randomized op stream, applied to both stores; outcomes must agree.
+	both := func(label string, op func(st *DurableStore) error) {
+		serr := op(sst)
+		derr := op(dst)
+		if (serr == nil) != (derr == nil) {
+			t.Fatalf("%s diverged: stored err %v, derived err %v", label, serr, derr)
+		}
+		if serr != nil && !errors.Is(serr, ErrUnknownRegion) {
+			t.Fatal(serr)
+		}
+	}
+	requesters := []string{"alice", "bob", "carol", "doctor"}
+	for i := 0; i < ops; i++ {
+		id := ids[rng.Intn(len(ids))]
+		switch rng.Intn(7) {
+		case 0, 1, 2:
+			reg, err := dst.Lookup(id)
+			if err != nil {
+				continue
+			}
+			lv := rng.Intn(reg.policy.Levels() + 1)
+			req := requesters[rng.Intn(len(requesters))]
+			both("SetTrust", func(st *DurableStore) error { return st.SetTrust(id, req, lv) })
+		case 3:
+			both("Deregister", func(st *DurableStore) error { return st.Deregister(id) })
+		case 4:
+			clk.Advance(time.Duration(1+rng.Intn(20)) * time.Second)
+		case 5:
+			both("SweepExpired", func(st *DurableStore) error { _, err := st.SweepExpired(); return err })
+		case 6:
+			ttl := time.Duration(1+rng.Intn(120)) * time.Second
+			both("Touch", func(st *DurableStore) error { _, err := st.Touch(id, ttl); return err })
+		}
+	}
+	both("SweepExpired", func(st *DurableStore) error { _, err := st.SweepExpired(); return err })
+
+	want := digestStore(t, sst, ids, engine, engineMade)
+	wantLen := sst.Len()
+	requireSameState(t, fmt.Sprintf("derived-vs-stored(k=%d)", shards),
+		want, digestStore(t, dst, ids, engine, engineMade), wantLen, dst.Len())
+	if sw, dw := sst.Watermark(), dst.Watermark(); !reflect.DeepEqual(sw, dw) {
+		t.Fatalf("replication watermarks diverged: stored %v, derived %v", sw, dw)
+	}
+
+	// Backup → restore across the schema boundary: the archive's interchange
+	// format is schema-agnostic; the restored dir migrates on open and must
+	// digest identically — but only with the keyring at hand.
+	var archive bytes.Buffer
+	if _, err := dst.WriteBackup(&archive); err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(t.TempDir(), "restored")
+	if err := RestoreArchive(bytes.NewReader(archive.Bytes()), restored); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := OpenDurableStore(restored, withDurableClock(clk.Now), WithGCInterval(0)); err == nil {
+		_ = st.Close()
+		t.Fatal("restored derived store opened without a keyring")
+	}
+	rst := openDurable(t, restored, WithKeyring(kr), withDurableClock(clk.Now), WithGCInterval(0))
+	requireSameState(t, fmt.Sprintf("derived-restore(k=%d)", shards),
+		want, digestStore(t, rst, ids, engine, engineMade), wantLen, rst.Len())
+
+	// Quiesce both data dirs and compare durable footprints: the derived
+	// store's records carry (epoch, levels) references where the stored
+	// store's carry hex key material, so its WAL+snapshots must be smaller.
+	if err := sst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sb, db := dirBytes(t, storedDir), dirBytes(t, derivedDir); db >= sb {
+		t.Fatalf("derived store holds %d durable bytes, stored twin %d — key refs should be smaller", db, sb)
+	}
+	for _, k := range reshardTo {
+		out := filepath.Join(t.TempDir(), fmt.Sprintf("reshard-%d", k))
+		if _, err := Reshard(derivedDir, out, k,
+			WithKeyring(kr), withDurableClock(clk.Now), WithGCInterval(0)); err != nil {
+			t.Fatalf("Reshard(%d->%d): %v", shards, k, err)
+		}
+		mst := openDurable(t, out, WithKeyring(kr), withDurableClock(clk.Now), WithGCInterval(0))
+		requireSameState(t, fmt.Sprintf("derived-reshard(%d->%d)", shards, k),
+			want, digestStore(t, mst, ids, engine, engineMade), wantLen, mst.Len())
+	}
+}
+
+// dirBytes sums the sizes of every regular file under dir.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var n int64
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		n += info.Size()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestConformanceDerivationEquivalence runs the stored-vs-derived arm
+// over the same shard counts as the main conformance test.
+func TestConformanceDerivationEquivalence(t *testing.T) {
+	counts := []int{1, 4, 16}
+	for i, k := range counts {
+		k := k
+		seed := int64(2000*i + 23)
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			derivationTrial(t, seed, k, counts)
+		})
 	}
 }
 

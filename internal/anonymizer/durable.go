@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"github.com/reversecloak/reversecloak/internal/keys"
 )
 
 // ErrStoreClosed reports use of a closed durable store.
@@ -82,6 +84,7 @@ type durabilityConfig struct {
 	ttl              time.Duration
 	gcInterval       time.Duration
 	replica          bool
+	keyring          *keys.Keyring
 	now              func() time.Time
 }
 
@@ -191,6 +194,15 @@ func WithGCInterval(d time.Duration) DurabilityOption {
 // store back into a writable leader.
 func WithReplica() DurabilityOption {
 	return func(c *durabilityConfig) { c.replica = true }
+}
+
+// WithKeyring installs the master keyring derived-key registrations
+// resolve through: recovery, replication ingest and reshard use it to
+// decode register records that carry a key reference (epoch + levels)
+// instead of key material. A store holding derived registrations cannot
+// open without a keyring covering their epochs.
+func WithKeyring(kr *keys.Keyring) DurabilityOption {
+	return func(c *durabilityConfig) { c.keyring = kr }
 }
 
 // WithClock substitutes the store's wall clock (expiry evaluation, TTL
@@ -372,9 +384,16 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 			return nil, err
 		}
 		s.stats.TruncatedBytes += truncated
+	} else if version == 2 {
+		// Version 2 directories hold only stored-key records the v3 reader
+		// decodes unchanged; migration is a crash-safe META bump that
+		// admits the derived-key record vocabulary.
+		if err := migrateStoreV2(dir, size); err != nil {
+			return nil, err
+		}
 	} else if err := cleanupRetiredV1(dir); err != nil {
 		// A crash between a migration's commit rename and its cleanup
-		// leaves retired per-shard WALs next to a valid v2 layout.
+		// leaves retired per-shard WALs next to a valid current layout.
 		return nil, err
 	}
 
@@ -421,7 +440,7 @@ func OpenDurableStore(dir string, opts ...DurabilityOption) (*DurableStore, erro
 				// WAL truncation hadn't yet dropped.
 				return shard, seq, nil
 			}
-			m, err := mutationFromRecord(rec)
+			m, err := mutationFromRecord(rec, s.cfg.keyring)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -495,11 +514,14 @@ type storeMeta struct {
 // metaFile is the data-directory header file name.
 const metaFile = "META.json"
 
-// storeMetaVersion is the current data-directory layout version: 2, the
-// unified-log layout. Version 1 (one WAL file per shard) is still read —
-// OpenDurableStore migrates it in place — and still WRITTEN into backup
-// archives, which keep the per-shard format as the interchange encoding.
-const storeMetaVersion = 2
+// storeMetaVersion is the current data-directory layout version: 3, the
+// unified-log layout whose register records may carry derived-key
+// references instead of key material. Version 2 (unified log, stored keys
+// only) and version 1 (one WAL file per shard) are still read —
+// OpenDurableStore migrates them in place — and version 1 is still WRITTEN
+// into backup archives, which keep the per-shard format as the interchange
+// encoding.
+const storeMetaVersion = 3
 
 // readMeta parses an existing data directory's header and returns its
 // shard count and layout version. A missing header reports os.ErrNotExist
@@ -621,7 +643,7 @@ func (s *DurableStore) loadShardSnapshot(
 			sh.snapSeqA.Store(rec.StreamSeq)
 			return nil
 		case recRegister:
-			m, err := mutationFromRecord(rec)
+			m, err := mutationFromRecord(rec, s.cfg.keyring)
 			if err != nil {
 				return err
 			}
@@ -752,16 +774,30 @@ func (s *DurableStore) mutate(m *Mutation) error {
 	return nil
 }
 
+// AllocateID hands out a fresh region ID without registering anything —
+// the hook derived-key registrations need, because their keys are derived
+// from the ID before the region is cut. An allocated ID that never
+// registers (a crash in between) is just a hole in the sequence; recovery
+// only tracks IDs that reached the journal.
+func (s *DurableStore) AllocateID() string {
+	return fmt.Sprintf("r%d", s.nextID.Add(1))
+}
+
 // Register implements Store: the registration is journaled (and, under
 // FsyncAlways, on disk) before its ID is returned. A store-default TTL,
 // when configured, is stamped here so the journaled expiry is exactly the
-// one enforced.
+// one enforced. A derived registration already owns its ID (its keys were
+// derived from it), so it registers under that ID instead of drawing a
+// fresh one.
 func (s *DurableStore) Register(reg *Registration) (string, error) {
 	if s.closed.Load() {
 		return "", ErrStoreClosed
 	}
 	reg = withDefaultExpiry(reg, s.cfg.ttl, s.cfg.now())
-	id := fmt.Sprintf("r%d", s.nextID.Add(1))
+	id := reg.keyID
+	if !reg.derived() || id == "" {
+		id = s.AllocateID()
+	}
 	if err := s.mutate(&Mutation{Op: MutRegister, ID: id, Reg: reg}); err != nil {
 		return "", err
 	}

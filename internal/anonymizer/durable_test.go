@@ -46,6 +46,43 @@ func fakeRegistration(t testing.TB, levels int) *Registration {
 	return NewRegistration(region, ks, policy)
 }
 
+// testMasterKeyring builds an in-memory keyring over deterministic
+// per-epoch secrets. The last listed epoch is active; epochs defaults to
+// {1} when empty.
+func testMasterKeyring(tb testing.TB, epochs ...uint32) *keys.Keyring {
+	tb.Helper()
+	if len(epochs) == 0 {
+		epochs = []uint32{1}
+	}
+	secrets := make(map[uint32][]byte, len(epochs))
+	for _, e := range epochs {
+		secrets[e] = []byte(fmt.Sprintf("anonymizer-test-master-secret-%08d", e))
+	}
+	kr, err := keys.NewKeyring(epochs[len(epochs)-1], secrets)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return kr
+}
+
+// fakeDerivedRegistration is fakeRegistration's schema-v3 twin: the same
+// structurally valid region, but keyed through a (epoch, id, levels)
+// reference into a deterministic test keyring instead of stored material.
+func fakeDerivedRegistration(tb testing.TB, levels int) *Registration {
+	tb.Helper()
+	kr := testMasterKeyring(tb)
+	stored := fakeRegistration(tb, levels)
+	return NewDerivedRegistration(
+		stored.region, kr, kr.ActiveEpoch(), "r-derived", levels, stored.policy)
+}
+
+// fuzzKeyring is the keyring the fuzz harness decodes derived-key records
+// against: it holds epoch 1 (matching fakeDerivedRegistration and the
+// hybrid seed) and nothing else, so epoch 999 stays unknown.
+func fuzzKeyring(tb testing.TB) *keys.Keyring {
+	return testMasterKeyring(tb, 1)
+}
+
 // openDurable opens a durable store and registers its cleanup.
 func openDurable(t *testing.T, dir string, opts ...DurabilityOption) *DurableStore {
 	t.Helper()

@@ -29,6 +29,17 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	trust := frame(&walRecord{Type: recTrust, ID: "r1", Requester: "alice", ToLevel: 1})
 	dereg := frame(&walRecord{Type: recDeregister, ID: "r1"})
 	header := frame(&walRecord{Type: recSnapHeader, NextID: 7})
+	// Schema-v3 shapes: a derived-key register record (key reference, no
+	// key material), one referencing an epoch no keyring holds, and the
+	// forbidden hybrid carrying both forms.
+	derivedReg := frame(registerRecord("r2", fakeDerivedRegistration(tb, 2)))
+	unknownEpoch := frame(&walRecord{
+		Type: recRegister, ID: "r3",
+		Region: fakeRegistration(tb, 1).region, KeyEpoch: 999, KeyLevels: 1, Default: 1,
+	})
+	hybridRec := registerRecord("r4", fakeRegistration(tb, 2))
+	hybridRec.KeyEpoch, hybridRec.KeyLevels = 1, 2
+	hybrid := frame(hybridRec)
 
 	seeds = append(seeds,
 		nil,
@@ -37,23 +48,44 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		append(append([]byte{}, reg...), dereg...),
 		reg[:len(reg)-3],                       // torn tail
 		append(append([]byte{}, reg...), 0xde), // garbage tail
+		derivedReg,
+		unknownEpoch,
+		hybrid,
+		append(append([]byte{}, derivedReg...), dereg...),
+		derivedReg[:len(derivedReg)-2], // torn derived tail
 	)
 	return seeds
 }
 
 // FuzzDecodeWALRecord feeds arbitrary bytes through the WAL scanner and
 // the record→mutation decoder: no input may panic, over-read, or yield an
-// intact-prefix offset beyond the input length.
+// intact-prefix offset beyond the input length. The decoder runs both
+// keyring-less and with a keyring, covering the v2 (stored keys) and v3
+// (key reference) vocabularies; a record carrying a key reference must
+// never decode into a stored-key registration and vice versa.
 func FuzzDecodeWALRecord(f *testing.F) {
 	for _, seed := range fuzzSeedFrames(f) {
 		f.Add(seed)
 	}
+	kr := fuzzKeyring(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		off, err := readRecords(r, func(rec *walRecord) error {
 			// Exercise the semantic decoders too: errors are expected on
 			// corrupt payloads, panics never.
-			_, _ = mutationFromRecord(rec)
+			m, err := mutationFromRecord(rec, kr)
+			if err == nil && m.Op == MutRegister {
+				refRec := rec.KeyEpoch != 0 || rec.KeyLevels != 0
+				if refRec != m.Reg.derived() {
+					t.Fatalf("record (epoch=%d levels=%d keys=%d) decoded as derived=%v",
+						rec.KeyEpoch, rec.KeyLevels, len(rec.Keys), m.Reg.derived())
+				}
+			}
+			// A derived record must fail cleanly, not decode as stored keys,
+			// when no keyring is at hand.
+			if m2, err2 := mutationFromRecord(rec, nil); err2 == nil && m2.Op == MutRegister && m2.Reg.derived() {
+				t.Fatal("derived record decoded without a keyring")
+			}
 			return nil
 		})
 		if off < 0 || off > int64(len(data)) {

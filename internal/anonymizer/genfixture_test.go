@@ -1,0 +1,105 @@
+package anonymizer
+
+// One-off generator for testdata/v2store (run manually, never in CI):
+//
+//	GEN_V2_FIXTURE=1 go test ./internal/anonymizer/ -run TestGenerateV2Fixture -count=1
+//
+// It cuts regions on the CLI's default map (preset "small", default seed,
+// 2000 cars) so `anonymizer dump` can recompute every reduction, writes a
+// unified-log store, and lowers its META to version 2. Refresh the golden
+// with:
+//
+//	go run ./cmd/anonymizer dump -data-dir <copy of testdata/v2store>
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reversecloak/reversecloak/internal/accessctl"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/keys"
+	"github.com/reversecloak/reversecloak/internal/mapgen"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/roadnet"
+	"github.com/reversecloak/reversecloak/internal/trace"
+)
+
+func TestGenerateV2Fixture(t *testing.T) {
+	if os.Getenv("GEN_V2_FIXTURE") == "" {
+		t.Skip("fixture generator; set GEN_V2_FIXTURE=1 to run")
+	}
+	seed := []byte("reversecloak-default-map-seed-01")
+	g, err := mapgen.Small(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := trace.New(g, trace.Config{Cars: 2000, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := cloak.NewEngine(g, sim.UsersOn, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join("testdata", "v2store")
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenDurableStore(dir,
+		WithDurableShards(4), WithSnapshotEvery(8), WithGCInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	prof := profile.Profile{Levels: []profile.Level{{K: 6, L: 3}, {K: 14, L: 6}}}
+	var ids []string
+	for len(ids) < 20 {
+		user := roadnet.SegmentID(rng.Intn(g.NumSegments()))
+		ks, err := keys.AutoGenerate(len(prof.Levels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		region, _, err := engine.Anonymize(cloak.Request{
+			UserSegment: user, Profile: prof, Keys: ks.All(),
+		})
+		if err != nil {
+			continue // infeasible start segment; try another
+		}
+		policy, err := accessctl.NewPolicy(len(prof.Levels), len(prof.Levels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := st.Register(NewRegistration(region, ks, policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	requesters := []string{"alice", "bob", "carol"}
+	for i, id := range ids {
+		if i%3 == 0 {
+			if err := st.SetTrust(id, requesters[i%len(requesters)], 1+i%2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Deregister(ids[len(ids)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, err := encodeMetaVersion(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d registrations (one deregistered)", dir, len(ids))
+}

@@ -42,9 +42,9 @@ var (
 	hookAfterMigratePublish  func() error
 )
 
-// migrateStoreV1 rewrites dir from the version-1 layout to version 2,
-// returning the torn v1 WAL tail bytes it dropped (the same bytes a
-// version-1 open would have truncated). The per-shard record payloads
+// migrateStoreV1 rewrites dir from the version-1 layout to the current
+// version, returning the torn v1 WAL tail bytes it dropped (the same bytes
+// a version-1 open would have truncated). The per-shard record payloads
 // are carried over verbatim when they already embed their stream offset,
 // and re-stamped otherwise, so every record in the unified log is
 // self-describing — recovery re-derives (shard, seq) from the payload
@@ -159,6 +159,55 @@ func migrateStoreV1(dir string, shards int, segLimit int64) (int64, error) {
 		return 0, err
 	}
 	return truncated, nil
+}
+
+// migrateStoreV2 bumps a version-2 directory (unified log, stored-key
+// records only) to version 3. The file layout is identical across the two
+// versions — version 3 only admits the derived-key record vocabulary — so
+// the migration is a META rewrite, staged and committed exactly like the
+// v1 migration: the staged META is written under migrate-tmp and renamed
+// over the live one in a single commit rename. A crash before the rename
+// leaves a valid v2 directory (the next open redoes the bump); a crash
+// after it leaves a valid v3 directory plus the staging dir, which the
+// current-version open path sweeps.
+func migrateStoreV2(dir string, shards int) error {
+	tmp := filepath.Join(dir, migrateTmpName)
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("anonymizer: clearing stale migration staging: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o700); err != nil {
+		return fmt.Errorf("anonymizer: migration staging dir: %w", err)
+	}
+	meta, err := encodeMetaVersion(shards, storeMetaVersion)
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(tmp, metaFile), meta); err != nil {
+		return err
+	}
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	if hookBeforeMigratePublish != nil {
+		if err := hookBeforeMigratePublish(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(filepath.Join(tmp, metaFile), filepath.Join(dir, metaFile)); err != nil {
+		return fmt.Errorf("anonymizer: migration commit: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if hookAfterMigratePublish != nil {
+		if err := hookAfterMigratePublish(); err != nil {
+			return err
+		}
+	}
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("anonymizer: migration cleanup: %w", err)
+	}
+	return nil
 }
 
 // cleanupRetiredV1 removes the artifacts a committed migration leaves

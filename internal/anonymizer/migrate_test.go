@@ -221,6 +221,172 @@ func TestMigrationCrashAfterPublish(t *testing.T) {
 	}
 }
 
+// makeV2Dir builds a version-2-layout data directory: the unified-log
+// file layout, stored-key records only, and a version-2 META. The layout
+// is identical to v3 (the v2→v3 migration is a META-only commit gating
+// the derived-key record vocabulary), so a freshly written store is
+// lowered by rewriting its META header. Returns the issued IDs.
+func makeV2Dir(t *testing.T, dst string, shards, regs int) []string {
+	t.Helper()
+	st, err := OpenDurableStore(dst, WithDurableShards(shards), WithSnapshotEvery(0), WithGCInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < regs; i++ {
+		id, err := st.Register(fakeRegistration(t, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := st.SetTrust(ids[0], "alice", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Deregister(ids[len(ids)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := encodeMetaVersion(shards, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, metaFile), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, version, err := readMeta(dst); err != nil || version != 2 {
+		t.Fatalf("lowered dir version = %d, %v; want a version-2 layout", version, err)
+	}
+	return ids
+}
+
+// segBytes returns the concatenated contents of dir's log segments in
+// name order — the byte-level identity the META-only v2→v3 migration
+// must preserve.
+func segBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, e := range entries {
+		if !segFileName.MatchString(e.Name()) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, raw...)
+	}
+	return out
+}
+
+// TestMigrationV2CrashBeforePublish kills the v2→v3 migration after the
+// version-3 META is staged but before the commit rename. The v2 META is
+// untouched and authoritative; a retry must complete with the same state
+// and must not rewrite a single log byte.
+func TestMigrationV2CrashBeforePublish(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "v2")
+	ids := makeV2Dir(t, dir, 2, 6)
+	logBefore := segBytes(t, dir)
+
+	hookBeforeMigratePublish = func() error { return errSimulatedCrash }
+	t.Cleanup(func() { hookBeforeMigratePublish = nil })
+	if _, err := OpenDurableStore(dir); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("open with pre-publish crash: err = %v", err)
+	}
+	// The crash window's on-disk state: v2 META authoritative, the staged
+	// v3 header confined to the staging directory, log untouched.
+	if _, version, err := readMeta(dir); err != nil || version != 2 {
+		t.Fatalf("META after pre-publish crash: version %d, %v; want untouched v2", version, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, migrateTmpName, metaFile)); err != nil {
+		t.Fatalf("staged META missing after pre-publish crash: %v", err)
+	}
+	if !bytes.Equal(segBytes(t, dir), logBefore) {
+		t.Fatal("log bytes changed before the migration committed")
+	}
+
+	hookBeforeMigratePublish = nil
+	st := openDurable(t, dir)
+	if got := st.Len(); got != len(ids)-1 { // one was deregistered
+		t.Fatalf("migrated Len = %d, want %d", got, len(ids)-1)
+	}
+	reg, err := st.Lookup(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv, err := reg.policy.LevelFor("alice"); err != nil || lv != 1 {
+		t.Errorf("trust lost across crashed migration: LevelFor(alice) = %d, %v", lv, err)
+	}
+	if _, err := st.Lookup(ids[len(ids)-1]); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("deregistered id resurrected by migration retry: %v", err)
+	}
+	if _, version, err := readMeta(dir); err != nil || version != storeMetaVersion {
+		t.Fatalf("META after completed migration: version %d, %v", version, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, migrateTmpName)); !os.IsNotExist(err) {
+		t.Errorf("staging directory not cleaned after completed migration (stat err %v)", err)
+	}
+	if !bytes.Equal(segBytes(t, dir), logBefore) {
+		t.Fatal("v2→v3 migration rewrote log bytes; it must be META-only")
+	}
+	id, err := st.Register(fakeRegistration(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := parseRegionID(id); n <= maxIssuedID(t, ids) {
+		t.Errorf("migrated store reissued id %q (max issued %d)", id, maxIssuedID(t, ids))
+	}
+}
+
+// TestMigrationV2CrashAfterPublish kills the process after the v2→v3
+// commit rename but before the staging directory is swept. The directory
+// is already version 3; the next open must take the current-version path,
+// clean the leftovers, and expose the same state.
+func TestMigrationV2CrashAfterPublish(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "v2")
+	ids := makeV2Dir(t, dir, 2, 6)
+	logBefore := segBytes(t, dir)
+
+	hookAfterMigratePublish = func() error { return errSimulatedCrash }
+	t.Cleanup(func() { hookAfterMigratePublish = nil })
+	if _, err := OpenDurableStore(dir); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("open with post-publish crash: err = %v", err)
+	}
+	// The crash window's on-disk state: committed v3 META with the staging
+	// directory still lying next to it.
+	if _, version, err := readMeta(dir); err != nil || version != storeMetaVersion {
+		t.Fatalf("META after post-publish crash: version %d, %v; want committed v3", version, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, migrateTmpName)); err != nil {
+		t.Fatalf("staging dir already gone; the crash window was not reproduced: %v", err)
+	}
+
+	hookAfterMigratePublish = nil
+	st := openDurable(t, dir)
+	if got := st.Len(); got != len(ids)-1 {
+		t.Fatalf("Len = %d after post-publish crash recovery, want %d", got, len(ids)-1)
+	}
+	if _, err := os.Stat(filepath.Join(dir, migrateTmpName)); !os.IsNotExist(err) {
+		t.Errorf("staging directory not cleaned by current-version open (stat err %v)", err)
+	}
+	if !bytes.Equal(segBytes(t, dir), logBefore) {
+		t.Fatal("v2→v3 migration rewrote log bytes; it must be META-only")
+	}
+	id, err := st.Register(fakeRegistration(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := parseRegionID(id); n <= maxIssuedID(t, ids) {
+		t.Errorf("store reissued id %q after post-publish crash (max issued %d)", id, maxIssuedID(t, ids))
+	}
+}
+
 // shardSnapSeqs returns each shard's snapshot-covered stream position.
 func shardSnapSeqs(st *DurableStore) []uint64 {
 	out := make([]uint64, len(st.shards))
@@ -415,30 +581,12 @@ type v1FixtureDumpLine struct {
 	Region  string         `json:"region_sha256"`
 }
 
-// TestMigrateFixtureV1Store opens a checked-in pre-refactor data
-// directory (written by the per-shard-WAL engine) and verifies the
-// migrated state against the golden dump captured when the fixture was
-// created. This is the backstop against silent drift in the migration
-// path itself: the fixture bytes never change, so neither may the state
-// they migrate to. scripts/e2e-backup.sh re-checks the full dump —
-// including reduction digests — through the CLI.
-func TestMigrateFixtureV1Store(t *testing.T) {
-	golden, err := os.ReadFile(filepath.Join("testdata", "v1store.dump"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var lines []v1FixtureDumpLine
-	for _, raw := range bytes.Split(bytes.TrimSpace(golden), []byte("\n")) {
-		var l v1FixtureDumpLine
-		if err := json.Unmarshal(raw, &l); err != nil {
-			t.Fatalf("golden dump line %q: %v", raw, err)
-		}
-		lines = append(lines, l)
-	}
-
-	// Migration rewrites the directory: always work on a copy.
-	dir := filepath.Join(t.TempDir(), "v1store")
-	copyTree(t, filepath.Join("testdata", "v1store"), dir)
+// verifyFixtureDump opens (and thereby migrates) a copy of the fixture
+// at src and checks the migrated state against the golden dump lines.
+func verifyFixtureDump(t *testing.T, src string, lines []v1FixtureDumpLine) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), filepath.Base(src))
+	copyTree(t, src, dir)
 	st := openDurable(t, dir)
 	if st.Len() != len(lines) {
 		t.Fatalf("migrated fixture Len = %d, golden dump has %d registrations", st.Len(), len(lines))
@@ -475,4 +623,51 @@ func TestMigrateFixtureV1Store(t *testing.T) {
 			t.Errorf("%s: region digest %s, golden %s", l.ID, got, l.Region)
 		}
 	}
+}
+
+// loadFixtureDump parses a golden dump file into its per-registration
+// lines.
+func loadFixtureDump(t *testing.T, path string) []v1FixtureDumpLine {
+	t.Helper()
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []v1FixtureDumpLine
+	for _, raw := range bytes.Split(bytes.TrimSpace(golden), []byte("\n")) {
+		var l v1FixtureDumpLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Fatalf("golden dump line %q: %v", raw, err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// TestMigrateFixtureV2Store opens a checked-in version-2 data directory
+// (unified log, stored-key records, pre-derived-keys META) and verifies
+// the META-only v2→v3 migration against the golden dump captured when
+// the fixture was created. scripts/e2e-backup.sh re-checks the full dump
+// — including reduction digests — through the CLI.
+func TestMigrateFixtureV2Store(t *testing.T) {
+	src := filepath.Join("testdata", "v2store")
+	if _, version, err := readMeta(src); err != nil || version != 2 {
+		t.Fatalf("fixture META: version %d, %v; want pristine v2", version, err)
+	}
+	verifyFixtureDump(t, src, loadFixtureDump(t, filepath.Join("testdata", "v2store.dump")))
+}
+
+// TestMigrateFixtureV1Store opens a checked-in pre-refactor data
+// directory (written by the per-shard-WAL engine) and verifies the
+// migrated state against the golden dump captured when the fixture was
+// created. This is the backstop against silent drift in the migration
+// path itself: the fixture bytes never change, so neither may the state
+// they migrate to. scripts/e2e-backup.sh re-checks the full dump —
+// including reduction digests — through the CLI.
+func TestMigrateFixtureV1Store(t *testing.T) {
+	src := filepath.Join("testdata", "v1store")
+	if _, version, err := readMeta(src); err != nil || version != 1 {
+		t.Fatalf("fixture META: version %d, %v; want pristine v1", version, err)
+	}
+	verifyFixtureDump(t, src, loadFixtureDump(t, filepath.Join("testdata", "v1store.dump")))
 }

@@ -134,7 +134,7 @@ func TestMutationLogReplayPrefixEquivalence(t *testing.T) {
 			openNow = steps[k-1].nowAt
 		}
 		for _, st := range steps[:k] {
-			m, err := mutationFromRecord(st.rec)
+			m, err := mutationFromRecord(st.rec, nil)
 			if err != nil {
 				t.Fatalf("prefix %d: decoding record: %v", k, err)
 			}

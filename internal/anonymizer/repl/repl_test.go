@@ -239,8 +239,22 @@ func TestReplicationConformance(t *testing.T) {
 		}
 	}
 
+	// settle lets every short "will lapse" TTL actually lapse, expires
+	// it explicitly on the leader, and ships the expire frames before a
+	// digest comparison — otherwise a registration can lapse in the gap
+	// between digesting the leader and digesting the follower (lazy
+	// expiry hides it from Lookup) and read as a divergence.
+	settle := func(fl *Follower) {
+		time.Sleep(40 * time.Millisecond)
+		if _, err := leader.store.SweepExpired(); err != nil {
+			t.Fatal(err)
+		}
+		awaitCatchup(t, leader.store, fl)
+	}
+
 	mutate(120)
 	awaitCatchup(t, leader.store, f)
+	settle(f)
 	requireSame(t, "first sync", digest(t, leader.store, ids), digest(t, f.Store(), ids))
 
 	// Mid-stream restart: stop the follower, mutate the leader meanwhile,
@@ -270,12 +284,7 @@ func TestReplicationConformance(t *testing.T) {
 		t.Fatalf("restart lost stream position: %d < %d", sum, preRestart.Sum())
 	}
 	awaitCatchup(t, leader.store, f2)
-	// Final sweep on the leader so lapsed TTLs are expired explicitly on
-	// both sides (the follower applies the expire frames).
-	if _, err := leader.store.SweepExpired(); err != nil {
-		t.Fatal(err)
-	}
-	awaitCatchup(t, leader.store, f2)
+	settle(f2)
 	requireSame(t, "after restart", digest(t, leader.store, ids), digest(t, f2.Store(), ids))
 	if leader.store.Len() != f2.Store().Len() {
 		t.Fatalf("Len: leader %d, follower %d", leader.store.Len(), f2.Store().Len())

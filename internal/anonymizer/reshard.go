@@ -90,7 +90,7 @@ func Reshard(srcDir, dstDir string, shards int, opts ...DurabilityOption) (*Resh
 		if n, ok := parseRegionID(rec.ID); ok && n > maxID {
 			maxID = n
 		}
-		m, err := mutationFromRecord(rec)
+		m, err := mutationFromRecord(rec, dst.cfg.keyring)
 		if err != nil {
 			return err
 		}

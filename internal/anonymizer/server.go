@@ -51,6 +51,7 @@ type serverConfig struct {
 	maxBatchSize int
 	repl         Replicator
 	tenants      *tenant.Registry
+	keyring      *keys.Keyring
 }
 
 // WithStore installs an alternative registration backend. The default is
@@ -132,6 +133,18 @@ func WithTenants(reg *tenant.Registry) ServerOption {
 	return func(c *serverConfig) { c.tenants = reg }
 }
 
+// WithMasterKeyring turns on derived per-registration keys: instead of
+// generating and storing fresh random cloak keys for every anonymize
+// request, the server derives them from the keyring's active master-key
+// epoch and the registration's ID, and the registration stores only the
+// (epoch, levels) reference. Rotating the keyring's active epoch switches
+// new registrations to the new epoch; existing ones keep deriving under
+// the epoch they were cut with. The keyring is caller-owned (it may be
+// watching a key file); the server does not close it.
+func WithMasterKeyring(kr *keys.Keyring) ServerOption {
+	return func(c *serverConfig) { c.keyring = kr }
+}
+
 // defaultServerConfig returns the config before options are applied.
 func defaultServerConfig() serverConfig {
 	workers := runtime.GOMAXPROCS(0)
@@ -192,6 +205,12 @@ func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) 
 	}
 	var owned Store
 	if cfg.durableDir != "" {
+		if cfg.keyring != nil {
+			// The store must resolve the derived-key records this server
+			// writes; installing the server keyring saves every caller the
+			// duplicate WithKeyring durability option.
+			cfg.durableOpts = append(cfg.durableOpts, WithKeyring(cfg.keyring))
+		}
 		st, err := OpenDurableStore(cfg.durableDir, cfg.durableOpts...)
 		if err != nil {
 			return nil, err
@@ -492,9 +511,34 @@ func (s *Server) handleAnonymize(req *Request) *Response {
 	if levels == 0 {
 		return fail(fmt.Errorf("%w: empty profile", ErrBadOp))
 	}
-	keySet, err := keys.AutoGenerate(levels)
-	if err != nil {
-		return fail(fmt.Errorf("anonymizer: key generation: %w", err))
+	// Derived-key mode: allocate the registration's ID up front (the keys
+	// are a function of it), derive the per-level keys from the active
+	// master epoch, and record only the (epoch, levels) reference. Without
+	// a keyring — or against a store that cannot pre-allocate IDs — fresh
+	// random keys are generated and stored, as before.
+	var (
+		keySet *keys.Set
+		alloc  idAllocator
+		regID  string
+		epoch  uint32
+	)
+	if s.cfg.keyring != nil {
+		alloc, _ = s.store.(idAllocator)
+	}
+	if alloc != nil {
+		regID = alloc.AllocateID()
+		epoch = s.cfg.keyring.ActiveEpoch()
+		ks, err := s.cfg.keyring.DeriveSet(epoch, regID, levels)
+		if err != nil {
+			return fail(fmt.Errorf("anonymizer: key derivation: %w", err))
+		}
+		keySet = ks
+	} else {
+		ks, err := keys.AutoGenerate(levels)
+		if err != nil {
+			return fail(fmt.Errorf("anonymizer: key generation: %w", err))
+		}
+		keySet = ks
 	}
 	region, _, err := engine.Anonymize(cloak.Request{
 		UserSegment: req.UserSegment,
@@ -511,7 +555,12 @@ func (s *Server) handleAnonymize(req *Request) *Response {
 	if s.isClosed() {
 		return fail(ErrServerClosed)
 	}
-	reg := &Registration{region: region, keySet: keySet, policy: policy}
+	var reg *Registration
+	if alloc != nil {
+		reg = NewDerivedRegistration(region, s.cfg.keyring, epoch, regID, levels, policy)
+	} else {
+		reg = &Registration{region: region, keySet: keySet, policy: policy}
+	}
 	var expiresAtMillis int64
 	if req.TTLMillis > 0 {
 		expiry := time.Now().Add(time.Duration(req.TTLMillis) * time.Millisecond)
@@ -542,7 +591,7 @@ func (s *Server) handleGetRegion(req *Request) *Response {
 	resp := newResp(true)
 	resp.RegionID = req.RegionID
 	resp.Region = reg.region
-	resp.Levels = reg.keySet.Levels()
+	resp.Levels = reg.Levels()
 	return resp
 }
 
@@ -627,7 +676,11 @@ func (s *Server) handleRequestKeys(req *Request) *Response {
 	if req.Requester == "" {
 		return fail(fmt.Errorf("%w: missing requester", ErrBadOp))
 	}
-	grant, err := reg.policy.KeysFor(req.Requester, reg.keySet)
+	ks, err := reg.keys()
+	if err != nil {
+		return fail(err)
+	}
+	grant, err := reg.policy.KeysFor(req.Requester, ks)
 	if err != nil {
 		return fail(err)
 	}
@@ -659,7 +712,7 @@ func (s *Server) handleReduce(req *Request) *Response {
 	if req.ToLevel > target {
 		target = req.ToLevel
 	}
-	levels := reg.keySet.Levels()
+	levels := reg.Levels()
 	if target >= levels {
 		// Nothing to peel: the requester sees the published region as-is.
 		// Zero-copy, like handleGetRegion: the stored region is immutable.
@@ -670,7 +723,11 @@ func (s *Server) handleReduce(req *Request) *Response {
 		return fail(fmt.Errorf("%w: algorithm %v not enabled",
 			ErrBadOp, reg.region.Algorithm))
 	}
-	grant, err := reg.keySet.Grant(target)
+	ks, err := reg.keys()
+	if err != nil {
+		return fail(err)
+	}
+	grant, err := ks.Grant(target)
 	if err != nil {
 		return fail(err)
 	}

@@ -206,6 +206,25 @@ func (s *Server) writeMetrics(w io.Writer) {
 			fmt.Fprintf(w, "# TYPE anonymizer_repl_epoch gauge\n")
 			fmt.Fprintf(w, "anonymizer_repl_epoch %d\n", epoch)
 		}
+		// Registrations by master-key epoch (epoch 0 = stored keys), so an
+		// operator can watch a rotation drain the old epoch.
+		byEpoch := map[uint32]int{}
+		ds.Range(func(_ string, reg *Registration) bool {
+			byEpoch[reg.KeyEpoch()]++
+			return true
+		})
+		if len(byEpoch) > 0 {
+			epochs := make([]uint32, 0, len(byEpoch))
+			for e := range byEpoch {
+				epochs = append(epochs, e)
+			}
+			sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+			fmt.Fprintf(w, "# HELP anonymizer_registrations_by_key_epoch Live registrations by master-key epoch (0 = stored keys).\n")
+			fmt.Fprintf(w, "# TYPE anonymizer_registrations_by_key_epoch gauge\n")
+			for _, e := range epochs {
+				fmt.Fprintf(w, "anonymizer_registrations_by_key_epoch{epoch=\"%d\"} %d\n", e, byEpoch[e])
+			}
+		}
 	}
 
 	// Replication lag: follower-side backlog, or the leader's view of

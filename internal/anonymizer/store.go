@@ -18,13 +18,65 @@ import (
 // Registration crosses package boundaries only as an opaque handle.
 type Registration struct {
 	region *cloak.CloakedRegion
+	// keySet holds stored key material (schema v2 and earlier, plus
+	// registrations built by embedders/benchmarks). Derived registrations
+	// leave it nil and carry a key reference instead: the keyring, the
+	// master-key epoch and level count that re-derive the per-level keys
+	// from the registration's ID on demand. Exactly one of the two forms
+	// is populated.
 	keySet *keys.Set
-	policy *accessctl.Policy
+	// Key reference (derived registrations only).
+	keyring   *keys.Keyring
+	keyEpoch  uint32
+	keyID     string
+	keyLevels int
+	policy    *accessctl.Policy
 	// expiresAt is the registration's expiry instant in unix nanoseconds;
 	// 0 means the registration lives until deregistered. Expiry ends the
 	// region's recoverability exactly like a deregistration — the
 	// reversibility contract is time-bounded when a TTL is set.
 	expiresAt int64
+}
+
+// NewDerivedRegistration assembles a registration whose per-level keys
+// are re-derived from kr on demand rather than stored: the durable record
+// for it carries only (id, epoch, levels) and no key material. The caller
+// must have cut the region with kr.DeriveSet(epoch, id, levels) — the
+// store trusts the reference, it cannot check the region against it.
+func NewDerivedRegistration(
+	region *cloak.CloakedRegion,
+	kr *keys.Keyring, epoch uint32, id string, levels int,
+	policy *accessctl.Policy,
+) *Registration {
+	return &Registration{
+		region: region, keyring: kr, keyEpoch: epoch, keyID: id,
+		keyLevels: levels, policy: policy,
+	}
+}
+
+// derived reports whether the registration resolves keys through a
+// keyring reference instead of stored material.
+func (r *Registration) derived() bool { return r.keySet == nil }
+
+// KeyEpoch returns the master-key epoch a derived registration was cut
+// under, or 0 for stored-key registrations.
+func (r *Registration) KeyEpoch() uint32 {
+	if r.derived() {
+		return r.keyEpoch
+	}
+	return 0
+}
+
+// keys resolves the registration's per-level key set: stored material
+// as-is, or a fresh derivation through the key reference.
+func (r *Registration) keys() (*keys.Set, error) {
+	if !r.derived() {
+		return r.keySet, nil
+	}
+	if r.keyring == nil {
+		return nil, fmt.Errorf("anonymizer: registration %q has no keyring to derive from", r.keyID)
+	}
+	return r.keyring.DeriveSet(r.keyEpoch, r.keyID, r.keyLevels)
 }
 
 // NewRegistration assembles a registration from its parts. The server
@@ -39,7 +91,12 @@ func NewRegistration(region *cloak.CloakedRegion, ks *keys.Set, policy *accessct
 func (r *Registration) Region() *cloak.CloakedRegion { return r.region }
 
 // Levels returns the number of keyed privacy levels.
-func (r *Registration) Levels() int { return r.keySet.Levels() }
+func (r *Registration) Levels() int {
+	if r.derived() {
+		return r.keyLevels
+	}
+	return r.keySet.Levels()
+}
 
 // SetExpiry bounds the registration's lifetime: after t the registration
 // is treated as unknown and the GC sweeper reclaims it. The zero time
@@ -81,10 +138,14 @@ func (r *Registration) Grants() map[string]int { return r.policy.Grants() }
 // or resharded store still reduces every region identically. Levels at or
 // above the published one return a clone of the published region.
 func (r *Registration) Reduce(engine *cloak.Engine, level int) (*cloak.CloakedRegion, error) {
-	if level >= r.keySet.Levels() {
+	if level >= r.Levels() {
 		return r.region.Clone(), nil
 	}
-	grant, err := r.keySet.Grant(level)
+	ks, err := r.keys()
+	if err != nil {
+		return nil, err
+	}
+	grant, err := ks.Grant(level)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +213,13 @@ type Store interface {
 	// and releases resources. The server closes the store it created
 	// itself; a store installed with WithStore is closed by its owner.
 	Close() error
+}
+
+// idAllocator is the optional Store capability derived-key registration
+// needs: an ID must exist before the region is cut, because the per-level
+// keys are derived from it. Both built-in stores implement it.
+type idAllocator interface {
+	AllocateID() string
 }
 
 // DefaultShards is the shard count of the default store: enough to keep
@@ -300,10 +368,23 @@ func (s *shardedStore) mutate(m *Mutation) error {
 	return err
 }
 
-// Register implements Store; the in-memory store cannot fail.
+// AllocateID hands out a fresh region ID without registering anything —
+// the hook derived-key registrations need, because their keys are derived
+// from the ID before the region is cut. An allocated-but-never-registered
+// ID is simply a hole in the sequence.
+func (s *shardedStore) AllocateID() string {
+	return fmt.Sprintf("r%d", s.nextID.Add(1))
+}
+
+// Register implements Store; the in-memory store cannot fail. A derived
+// registration already owns its ID (its keys were derived from it), so it
+// registers under that ID instead of drawing a fresh one.
 func (s *shardedStore) Register(reg *Registration) (string, error) {
 	reg = withDefaultExpiry(reg, s.cfg.ttl, s.cfg.now())
-	id := fmt.Sprintf("r%d", s.nextID.Add(1))
+	id := reg.keyID
+	if !reg.derived() || id == "" {
+		id = s.AllocateID()
+	}
 	if err := s.mutate(&Mutation{Op: MutRegister, ID: id, Reg: reg}); err != nil {
 		return "", err
 	}

@@ -196,7 +196,7 @@ func (s *DurableStore) IngestFrame(f StreamFrame) (bool, error) {
 	if rec.Type == recSnapHeader {
 		return false, fmt.Errorf("%w: %q record in stream", ErrCorruptLog, rec.Type)
 	}
-	m, err := mutationFromRecord(&rec)
+	m, err := mutationFromRecord(&rec, s.cfg.keyring)
 	if err != nil {
 		return false, err
 	}

@@ -86,6 +86,13 @@ type walRecord struct {
 	Keys    []string             `json:"keys,omitempty"`
 	Default int                  `json:"default"`
 	Grants  map[string]int       `json:"grants,omitempty"`
+	// Derived-key register payload (schema v3): instead of key material the
+	// record carries a key reference — the master-key epoch the registration
+	// was cut under and its level count. The keys are re-derived from the
+	// keyring as HKDF(epoch, ID, level). Exactly one of Keys and
+	// KeyEpoch/KeyLevels is populated; a record carrying both is corrupt.
+	KeyEpoch  uint32 `json:"key_epoch,omitempty"`
+	KeyLevels int    `json:"key_levels,omitempty"`
 	// ExpiresAt is the registration's expiry instant in unix nanoseconds;
 	// 0 (omitted) means the registration never expires.
 	ExpiresAt int64 `json:"expires_at,omitempty"`
@@ -234,17 +241,25 @@ func nextStreamSeq(seq, recSeq uint64) uint64 {
 }
 
 // registerRecord captures a registration (and the current state of its
-// policy) as a WAL record.
+// policy) as a WAL record. Stored-key registrations journal their key
+// material; derived registrations journal only the key reference (epoch +
+// level count) — the record carries no key bytes.
 func registerRecord(id string, reg *Registration) *walRecord {
-	return &walRecord{
+	rec := &walRecord{
 		Type:      recRegister,
 		ID:        id,
 		Region:    reg.region,
-		Keys:      reg.keySet.EncodeHex(),
 		Default:   reg.policy.DefaultLevel(),
 		Grants:    reg.policy.Grants(),
 		ExpiresAt: reg.expiresAt,
 	}
+	if reg.derived() {
+		rec.KeyEpoch = reg.keyEpoch
+		rec.KeyLevels = reg.keyLevels
+	} else {
+		rec.Keys = reg.keySet.EncodeHex()
+	}
+	return rec
 }
 
 // recordFromMutation encodes a lifecycle mutation as its WAL record — the
@@ -270,11 +285,13 @@ func recordFromMutation(m *Mutation) *walRecord {
 
 // mutationFromRecord decodes a WAL record back into the mutation it
 // journaled, so replay can route through the same apply path as the live
-// stores. Snapshot headers are not mutations and are rejected.
-func mutationFromRecord(rec *walRecord) (*Mutation, error) {
+// stores. Snapshot headers are not mutations and are rejected. kr resolves
+// derived-key register records (schema v3); it may be nil when the log is
+// known to carry only stored-key records.
+func mutationFromRecord(rec *walRecord, kr *keys.Keyring) (*Mutation, error) {
 	switch rec.Type {
 	case recRegister:
-		reg, err := decodeRegistration(rec)
+		reg, err := decodeRegistration(rec, kr)
 		if err != nil {
 			return nil, err
 		}
@@ -292,26 +309,64 @@ func mutationFromRecord(rec *walRecord) (*Mutation, error) {
 	}
 }
 
-// decodeRegistration rebuilds a Registration from a register record.
-func decodeRegistration(rec *walRecord) (*Registration, error) {
-	if rec.Region == nil || len(rec.Keys) == 0 {
-		return nil, fmt.Errorf("%w: register record %q without region or keys",
+// decodeRegistration rebuilds a Registration from a register record —
+// stored key material or a derived-key reference resolved through kr.
+func decodeRegistration(rec *walRecord, kr *keys.Keyring) (*Registration, error) {
+	if rec.Region == nil {
+		return nil, fmt.Errorf("%w: register record %q without region",
 			ErrCorruptLog, rec.ID)
 	}
-	raw := make([][]byte, len(rec.Keys))
-	for i, e := range rec.Keys {
-		k, err := hex.DecodeString(e)
-		if err != nil {
-			return nil, fmt.Errorf("%w: register record %q key %d: %v",
-				ErrCorruptLog, rec.ID, i+1, err)
+	derivedRef := rec.KeyEpoch != 0 || rec.KeyLevels != 0
+	if derivedRef && len(rec.Keys) != 0 {
+		return nil, fmt.Errorf("%w: register record %q carries both key material and a key reference",
+			ErrCorruptLog, rec.ID)
+	}
+	var (
+		reg    *Registration
+		levels int
+	)
+	switch {
+	case derivedRef:
+		if rec.KeyEpoch == 0 || rec.KeyLevels < 1 {
+			return nil, fmt.Errorf("%w: register record %q key reference epoch %d levels %d",
+				ErrCorruptLog, rec.ID, rec.KeyEpoch, rec.KeyLevels)
 		}
-		raw[i] = k
+		if rec.ID == "" {
+			return nil, fmt.Errorf("%w: derived register record without id", ErrCorruptLog)
+		}
+		if kr == nil {
+			return nil, fmt.Errorf("anonymizer: register record %q needs a master keyring (open the store with WithKeyring)", rec.ID)
+		}
+		if !kr.Has(rec.KeyEpoch) {
+			return nil, fmt.Errorf("anonymizer: register record %q: %w (epoch %d)",
+				rec.ID, keys.ErrUnknownEpoch, rec.KeyEpoch)
+		}
+		reg = &Registration{
+			region: rec.Region, keyring: kr, keyEpoch: rec.KeyEpoch,
+			keyID: rec.ID, keyLevels: rec.KeyLevels, expiresAt: rec.ExpiresAt,
+		}
+		levels = rec.KeyLevels
+	case len(rec.Keys) != 0:
+		raw := make([][]byte, len(rec.Keys))
+		for i, e := range rec.Keys {
+			k, err := hex.DecodeString(e)
+			if err != nil {
+				return nil, fmt.Errorf("%w: register record %q key %d: %v",
+					ErrCorruptLog, rec.ID, i+1, err)
+			}
+			raw[i] = k
+		}
+		ks, err := keys.FromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: register record %q: %v", ErrCorruptLog, rec.ID, err)
+		}
+		reg = &Registration{region: rec.Region, keySet: ks, expiresAt: rec.ExpiresAt}
+		levels = ks.Levels()
+	default:
+		return nil, fmt.Errorf("%w: register record %q without keys or key reference",
+			ErrCorruptLog, rec.ID)
 	}
-	ks, err := keys.FromBytes(raw)
-	if err != nil {
-		return nil, fmt.Errorf("%w: register record %q: %v", ErrCorruptLog, rec.ID, err)
-	}
-	policy, err := accessctl.NewPolicy(ks.Levels(), rec.Default)
+	policy, err := accessctl.NewPolicy(levels, rec.Default)
 	if err != nil {
 		return nil, fmt.Errorf("%w: register record %q: %v", ErrCorruptLog, rec.ID, err)
 	}
@@ -321,7 +376,6 @@ func decodeRegistration(rec *walRecord) (*Registration, error) {
 				ErrCorruptLog, rec.ID, requester, err)
 		}
 	}
-	return &Registration{
-		region: rec.Region, keySet: ks, policy: policy, expiresAt: rec.ExpiresAt,
-	}, nil
+	reg.policy = policy
+	return reg, nil
 }

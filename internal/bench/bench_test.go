@@ -104,7 +104,7 @@ func TestRunAllStreamsEverything(t *testing.T) {
 		t.Fatalf("RunAllJSON: %v", err)
 	}
 	out := buf.String()
-	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E21"}
+	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E21", "E22"}
 	for _, id := range ids {
 		if !strings.Contains(out, "["+id+" completed") {
 			t.Errorf("missing experiment %s in output", id)
@@ -127,18 +127,22 @@ func TestRunAllStreamsEverything(t *testing.T) {
 	}
 	// E16 swept four client counts, E17 compared four store configs, and
 	// E18 swept four writer counts.
-	for _, res := range set.Experiments[len(set.Experiments)-5 : len(set.Experiments)-2] {
+	for _, res := range set.Experiments[len(set.Experiments)-6 : len(set.Experiments)-3] {
 		if len(res.Rows) != 4 {
 			t.Errorf("%s has %d rows, want 4", res.ID, len(res.Rows))
 		}
 	}
 	// E19 swept three writer counts against the replicated pair.
-	if e19 := set.Experiments[len(set.Experiments)-2]; len(e19.Rows) != 3 {
+	if e19 := set.Experiments[len(set.Experiments)-3]; len(e19.Rows) != 3 {
 		t.Errorf("E19 has %d rows, want 3", len(e19.Rows))
 	}
 	// E21 crossed four writer counts with three shard counts.
-	if e21 := set.Experiments[len(set.Experiments)-1]; len(e21.Rows) != 12 {
+	if e21 := set.Experiments[len(set.Experiments)-2]; len(e21.Rows) != 12 {
 		t.Errorf("E21 has %d rows, want 12", len(e21.Rows))
+	}
+	// E22 compared the stored-key and derived-key record shapes.
+	if e22 := set.Experiments[len(set.Experiments)-1]; len(e22.Rows) != 2 {
+		t.Errorf("E22 has %d rows, want 2", len(e22.Rows))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/reversecloak/reversecloak/internal/cloak"
 	"github.com/reversecloak/reversecloak/internal/keys"
 	"github.com/reversecloak/reversecloak/internal/metrics"
+	"github.com/reversecloak/reversecloak/internal/profile"
 )
 
 // E17DurabilityOverhead measures the durability tax of the anonymizer
@@ -236,6 +237,183 @@ func groupCommitStep(
 	rate = float64(ops) / elapsed.Seconds()
 	fsyncsPerOp = float64(ds.WALStats().Fsyncs-fsyncs0) / float64(ops)
 	return rate, fsyncsPerOp, nil
+}
+
+// E22DerivedKeys measures what the derived-keys record shape (store
+// schema v3) buys over journaling key material (the v2 shape): durable
+// bytes per registration and cold-recovery time of the resulting data
+// directory. Both arms register the same cloaked region under the same
+// policy; the stored arm journals the full per-level key set while the
+// derived arm journals only an (epoch, id, levels) reference and
+// re-derives the keys through the master keyring, so the footprint gap
+// is exactly the key material the v3 schema keeps out of the log.
+func E22DerivedKeys(env *Env) (*metrics.Table, error) {
+	region, policy, ks, err := e22Parts(env)
+	if err != nil {
+		return nil, err
+	}
+	kr, err := keys.NewKeyring(1, map[uint32][]byte{
+		1: []byte("bench-e22-master-secret-0123456789abcdef"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	const workers = 8
+	ops := 100 * env.Opts.Trials
+
+	storedReg := anonymizer.NewRegistration(region, ks, policy)
+	type arm struct {
+		name string
+		opts []anonymizer.DurabilityOption
+		next func(*anonymizer.DurableStore) *anonymizer.Registration
+	}
+	arms := []arm{
+		{"stored keys (v2)", nil,
+			func(*anonymizer.DurableStore) *anonymizer.Registration { return storedReg }},
+		{"derived keys (v3)",
+			[]anonymizer.DurabilityOption{anonymizer.WithKeyring(kr)},
+			func(ds *anonymizer.DurableStore) *anonymizer.Registration {
+				id := ds.AllocateID()
+				return anonymizer.NewDerivedRegistration(
+					region, kr, kr.ActiveEpoch(), id, ks.Levels(), policy)
+			}},
+	}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("E22: stored vs derived key records (%d registrations, %d workers, %d levels)",
+			ops, workers, ks.Levels()),
+		"records", "regs/s", "durable B/op", "recovery ms", "bytes vs stored")
+	var storedBytes float64
+	for _, a := range arms {
+		rate, bytesPerOp, recovery, err := keyRecordStep(a.opts, a.next, ops, workers)
+		if err != nil {
+			return nil, fmt.Errorf("E22 %s: %w", a.name, err)
+		}
+		if storedBytes == 0 {
+			storedBytes = bytesPerOp
+		}
+		tab.AddRow(
+			a.name,
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.0f", bytesPerOp),
+			fmt.Sprintf("%.2f", recovery.Seconds()*1e3),
+			fmt.Sprintf("%.2fx", bytesPerOp/storedBytes),
+		)
+	}
+	return tab, nil
+}
+
+// e22Parts cloaks one sampled user under a fine-grained profile —
+// durable key material scales with the level count while the region
+// scales with the top level's k, so a deep profile with gently rising
+// requirements (the paper's personalized trust hierarchy at its most
+// granular) is where the record-shape difference matters most.
+func e22Parts(env *Env) (*cloak.CloakedRegion, *accessctl.Policy, *keys.Set, error) {
+	prof := profile.Profile{Levels: []profile.Level{
+		{K: 3, L: 2}, {K: 3, L: 2}, {K: 4, L: 2}, {K: 4, L: 2}, {K: 5, L: 3},
+		{K: 5, L: 3}, {K: 6, L: 3}, {K: 6, L: 3}, {K: 7, L: 4}, {K: 8, L: 4},
+	}}
+	levels := len(prof.Levels)
+	ks, err := keys.FromBytes(env.keysFor("e22", levels))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, user := range env.SampleUsers(20, "e22") {
+		region, _, err := env.RGE.Anonymize(cloak.Request{
+			UserSegment: user, Profile: prof, Keys: ks.All(),
+		})
+		if err != nil {
+			continue
+		}
+		policy, err := accessctl.NewPolicy(levels, levels)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return region, policy, ks, nil
+	}
+	return nil, nil, nil, fmt.Errorf("bench: no sampled user cloaked successfully")
+}
+
+// keyRecordStep times ops registrations built by next against a durable
+// store opened with durOpts, then measures the closed directory's
+// on-disk footprint and how long a cold reopen (recovery from log +
+// snapshots, same durOpts) takes.
+func keyRecordStep(
+	durOpts []anonymizer.DurabilityOption,
+	next func(*anonymizer.DurableStore) *anonymizer.Registration,
+	ops, workers int,
+) (rate, bytesPerOp float64, recovery time.Duration, err error) {
+	dir, err := os.MkdirTemp("", "reversecloak-e22-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	ds, err := anonymizer.OpenDurableStore(dir, durOpts...)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < ops; i += workers {
+				if _, rerr := ds.Register(next(ds)); rerr != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = rerr
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if cerr := ds.Close(); cerr != nil && firstErr == nil {
+		firstErr = cerr
+	}
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	rate = float64(ops) / elapsed.Seconds()
+
+	var onDisk int64
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		return 0, 0, 0, derr
+	}
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".wal", ".snap", ".seg":
+			if info, ierr := e.Info(); ierr == nil {
+				onDisk += info.Size()
+			}
+		}
+	}
+	bytesPerOp = float64(onDisk) / float64(ops)
+
+	recoverStart := time.Now()
+	rs, err := anonymizer.OpenDurableStore(dir, durOpts...)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("cold reopen: %w", err)
+	}
+	recovery = time.Since(recoverStart)
+	n := rs.Len()
+	if cerr := rs.Close(); cerr != nil {
+		return 0, 0, 0, cerr
+	}
+	if n != ops {
+		return 0, 0, 0, fmt.Errorf("recovered %d registrations, want %d", n, ops)
+	}
+	return rate, bytesPerOp, recovery, nil
 }
 
 // registerStep times ops registrations against one store configuration

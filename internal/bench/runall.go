@@ -40,6 +40,7 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E18", "group commit fsync=always recovery", wrap(E18GroupCommit)},
 		{"E19", "replicated read throughput and lag", wrap(E19ReplicatedReads)},
 		{"E21", "store-wide group commit batching", wrap(E21GroupCommitBatching)},
+		{"E22", "stored vs derived key records", wrap(E22DerivedKeys)},
 	}
 }
 

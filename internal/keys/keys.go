@@ -24,6 +24,9 @@ var (
 	ErrBadKey = errors.New("keys: bad key")
 	// ErrLevelRange reports a privacy level outside the key set.
 	ErrLevelRange = errors.New("keys: level out of range")
+	// ErrUnknownEpoch reports a derivation request against a key epoch the
+	// keyring holds no master secret for.
+	ErrUnknownEpoch = errors.New("keys: unknown key epoch")
 )
 
 // Set holds the per-level anonymization keys Key_1 .. Key_{N-1}.

@@ -106,6 +106,10 @@ type (
 	Level = profile.Level
 	// KeySet holds per-level anonymization keys.
 	KeySet = keys.Set
+	// Keyring holds master secrets by epoch and derives per-registration
+	// cloak keys from them (HKDF over the registration ID), so stores can
+	// record a key reference instead of key material.
+	Keyring = keys.Keyring
 )
 
 // Workload types.
@@ -315,6 +319,10 @@ var (
 	// ErrThrottled reports an operation shed by the tenant's rate limit;
 	// the client should back off and retry.
 	ErrThrottled = anonymizer.ErrThrottled
+	// ErrUnknownEpoch reports a derived-key registration whose master-key
+	// epoch the keyring holds no secret for (e.g. an epoch retired while
+	// registrations cut under it were still live).
+	ErrUnknownEpoch = keys.ErrUnknownEpoch
 )
 
 // NewRGEEngine builds an engine using Reversible Global Expansion.
@@ -371,6 +379,29 @@ func AutoGenerateKeys(levels int) (*KeySet, error) { return keys.AutoGenerate(le
 
 // KeysFromHex imports keys exported by KeySet.EncodeHex.
 func KeysFromHex(encoded []string) (*KeySet, error) { return keys.DecodeHex(encoded) }
+
+// LoadMasterKeys reads a master key file ({"active": N, "epochs": {"N":
+// "<hex>", ...}}) into a keyring. Call Watch to pick up epoch rotations
+// from file edits, and Close when done.
+func LoadMasterKeys(path string) (*Keyring, error) { return keys.LoadKeyring(path) }
+
+// NewMasterKeys builds a keyring from in-memory master secrets, keyed by
+// epoch; active selects the epoch new registrations derive under.
+func NewMasterKeys(active uint32, epochs map[uint32][]byte) (*Keyring, error) {
+	return keys.NewKeyring(active, epochs)
+}
+
+// WithMasterKeyring makes a server derive per-registration cloak keys
+// from the keyring's active master-key epoch instead of generating and
+// storing them: durable registrations shrink to a key reference, and
+// rotating the master secret is an epoch bump in the key file. The
+// keyring is caller-owned; the server does not close it.
+func WithMasterKeyring(kr *Keyring) ServerOption { return anonymizer.WithMasterKeyring(kr) }
+
+// WithKeyring gives a durable store the master keyring its derived-key
+// registrations resolve through; required to open (recover, restore,
+// reshard, follow) a store holding derived registrations.
+func WithKeyring(kr *Keyring) DurabilityOption { return anonymizer.WithKeyring(kr) }
 
 // DefaultProfile returns the toolkit's "Default setting" profile: three
 // levels with doubling anonymity.
