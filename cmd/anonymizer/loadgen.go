@@ -4,6 +4,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,14 @@ func runLoadgen(argv []string) error {
 		readAddr = fs.String("read-addr", "",
 			"aim a get_region read at this address (e.g. a replication follower) after each registration; "+
 				"unknown-region responses count as stale reads (replication lag)")
+		reduceFrac = fs.Float64("reduce-frac", 0,
+			"fraction of requests that reduce a pre-registered region instead of anonymizing (0..1)")
+		skew = fs.Float64("skew", 0,
+			"zipf exponent for choosing which region to reduce (> 1 skews toward a hot set; <= 1 = uniform)")
+		poolSize = fs.Int("regions", 512,
+			"pre-registered region pool the reduce workload draws from (with -reduce-frac)")
+		levels = fs.Int("levels", 1,
+			"privacy levels of the test profile (each level doubles k; > 1 makes reduces peel)")
 		tenantName = fs.String("tenant", "", "authenticate every connection as this tenant")
 		token      = fs.String("token", "", "tenant token for -tenant")
 		codec      = fs.String("codec", "auto", "wire codec: auto, json or binary")
@@ -50,7 +59,16 @@ func runLoadgen(argv []string) error {
 	if len(counts) == 0 {
 		return fmt.Errorf("empty -clients sweep")
 	}
-	prof := rc.Profile{Levels: []rc.Level{{K: *kAnon, L: *lDiv}}}
+	if *reduceFrac < 0 || *reduceFrac > 1 {
+		return fmt.Errorf("-reduce-frac %v outside [0, 1]", *reduceFrac)
+	}
+	if *levels < 1 {
+		return fmt.Errorf("-levels must be >= 1")
+	}
+	prof := rc.Profile{}
+	for lv, k := 0, *kAnon; lv < *levels; lv, k = lv+1, k*2 {
+		prof.Levels = append(prof.Levels, rc.Level{K: k, L: *lDiv})
+	}
 
 	// Fail fast if the server is unreachable (or the credentials are bad).
 	probe, err := dialAuthed(*addr, *tenantName, *token)
@@ -61,6 +79,43 @@ func runLoadgen(argv []string) error {
 		_ = probe.Close()
 		return err
 	}
+
+	// With a reduce workload, pre-register the region pool the reduce
+	// requests draw from and entitle the "reader" requester to level 0,
+	// so every reduce peels the full level stack (the server's hot read
+	// path, cache-friendly or not).
+	var pool []string
+	if *reduceFrac > 0 {
+		for u := 0; len(pool) < *poolSize && u < *segments*4; u++ {
+			id, _, err := probe.Anonymize(rc.SegmentID(u%*segments), prof, "RGE")
+			if err != nil {
+				if errors.Is(err, rc.ErrRemote) {
+					continue // infeasible cloak at this segment; try the next
+				}
+				_ = probe.Close()
+				return fmt.Errorf("registering reduce pool: %w", err)
+			}
+			if err := probe.SetTrust(id, "reader", 0); err != nil {
+				_ = probe.Close()
+				return fmt.Errorf("granting reduce pool trust: %w", err)
+			}
+			pool = append(pool, id)
+		}
+		if len(pool) == 0 {
+			_ = probe.Close()
+			return fmt.Errorf("reduce pool: no feasible cloaks on this map")
+		}
+		defer func() {
+			cl, err := dialAuthed(*addr, *tenantName, *token)
+			if err != nil {
+				return
+			}
+			for _, id := range pool {
+				_ = cl.Deregister(id)
+			}
+			_ = cl.Close()
+		}()
+	}
 	_ = probe.Close()
 
 	cleanup := "deregister"
@@ -69,22 +124,32 @@ func runLoadgen(argv []string) error {
 	}
 	fmt.Printf("loadgen against %s: %v clients, %s per step, batch=%d, cleanup=%s\n",
 		*addr, counts, *duration, *batch, cleanup)
-	if *readAddr != "" {
+	if len(pool) > 0 {
+		fmt.Printf("reduce workload: frac=%.2f pool=%d levels=%d skew=%.2f\n",
+			*reduceFrac, len(pool), *levels, *skew)
+	}
+	switch {
+	case *readAddr != "":
 		fmt.Printf("reads against %s (stale = registration not yet replicated)\n", *readAddr)
 		fmt.Printf("%-10s %12s %12s %10s %12s %10s %10s\n",
 			"clients", "req/s", "ok", "failed", "reads/s", "stale", "speedup")
-	} else {
+	case len(pool) > 0:
+		fmt.Printf("%-10s %12s %12s %10s %12s %10s\n",
+			"clients", "req/s", "ok", "failed", "reduce/s", "speedup")
+	default:
 		fmt.Printf("%-10s %12s %12s %10s %10s\n", "clients", "req/s", "ok", "failed", "speedup")
 	}
 	var base float64
-	var totalDenied, totalThrottled int64
+	var totalDenied, totalThrottled, totalReduces int64
 	for _, n := range counts {
-		res, err := runStep(*addr, *readAddr, *tenantName, *token, n, *duration, prof, *batch, *segments, *ttl)
+		res, err := runStep(*addr, *readAddr, *tenantName, *token, n, *duration, prof, *batch, *segments, *ttl,
+			*reduceFrac, *skew, pool)
 		if err != nil {
 			return fmt.Errorf("step clients=%d: %w", n, err)
 		}
 		totalDenied += res.denied
 		totalThrottled += res.throttled
+		totalReduces += res.reduces
 		rate := float64(res.done) / duration.Seconds()
 		if base == 0 && rate > 0 {
 			base = rate
@@ -94,11 +159,16 @@ func runLoadgen(argv []string) error {
 			speedup = rate / base
 		}
 		ok := res.done - res.failed - res.denied - res.throttled
-		if *readAddr != "" {
+		switch {
+		case *readAddr != "":
 			fmt.Printf("%-10d %12.0f %12d %10d %12.0f %10d %9.2fx\n",
 				n, rate, ok, res.failed,
 				float64(res.reads)/duration.Seconds(), res.stale, speedup)
-		} else {
+		case len(pool) > 0:
+			fmt.Printf("%-10d %12.0f %12d %10d %12.0f %9.2fx\n",
+				n, rate, ok, res.failed,
+				float64(res.reduces)/duration.Seconds(), speedup)
+		default:
 			fmt.Printf("%-10d %12.0f %12d %10d %9.2fx\n",
 				n, rate, ok, res.failed, speedup)
 		}
@@ -107,6 +177,14 @@ func runLoadgen(argv []string) error {
 	// denials and rate-limit throttles are the expected outcome when the
 	// workload exceeds the tenant's grants, not generic failures.
 	fmt.Printf("rejected: denied=%d throttled=%d\n", totalDenied, totalThrottled)
+	if len(pool) > 0 {
+		// The hit-rate-relevant shape of the reduce leg, grep-friendly:
+		// with skew > 1 most reduces land on a small hot set, so a server
+		// cache (serve -reduce-cache-bytes) should turn most of these
+		// into anonymizer_reduce_cache_hits_total on /metrics.
+		fmt.Printf("reduces: total=%d pool=%d skew=%.2f frac=%.2f\n",
+			totalReduces, len(pool), *skew, *reduceFrac)
+	}
 	return nil
 }
 
@@ -143,12 +221,13 @@ func dialAuthed(addr, tenant, token string) (*rc.Client, error) {
 
 // stepResult aggregates one sweep step's counters.
 type stepResult struct {
-	done      int64 // completed write requests
+	done      int64 // completed requests
 	failed    int64 // server-side failures among them
 	reads     int64 // follower reads issued
 	stale     int64 // follower reads that missed (not yet replicated)
 	denied    int64 // capability rejections (tenant lacks the grant)
 	throttled int64 // rate-limit rejections (tenant over budget)
+	reduces   int64 // reduce requests issued against the region pool
 }
 
 // runStep drives n concurrent clients (one connection each) for the window
@@ -166,6 +245,8 @@ func runStep(
 	prof rc.Profile,
 	batch, segments int,
 	ttl time.Duration,
+	reduceFrac, skew float64,
+	pool []string,
 ) (*stepResult, error) {
 	clients := make([]*rc.Client, n)
 	for i := range clients {
@@ -194,6 +275,7 @@ func runStep(
 		stale     atomic.Int64
 		denied    atomic.Int64
 		throttled atomic.Int64
+		reduces   atomic.Int64
 		transport atomic.Pointer[error]
 		wg        sync.WaitGroup
 	)
@@ -250,8 +332,41 @@ func runStep(
 				}
 				return nil
 			}
+			// Per-worker region picker for the reduce workload: skew > 1
+			// concentrates the choices zipfian-style on a hot subset of the
+			// pool (the realistic shape of LBS read traffic — a few busy
+			// regions absorb most queries); otherwise uniform.
+			var (
+				rng  *rand.Rand
+				zipf *rand.Zipf
+			)
+			if len(pool) > 0 {
+				rng = rand.New(rand.NewSource(int64(w)*6364136223846793005 + 1442695040888963407))
+				if skew > 1 && len(pool) > 1 {
+					zipf = rand.NewZipf(rng, skew, 1, uint64(len(pool)-1))
+				}
+			}
+			pickRegion := func() string {
+				if zipf != nil {
+					return pool[zipf.Uint64()]
+				}
+				return pool[rng.Intn(len(pool))]
+			}
 			i := 0
 			for time.Now().Before(deadline) {
+				if len(pool) > 0 && rng.Float64() < reduceFrac {
+					if _, _, err := c.Reduce(pickRegion(), "reader", 0); err != nil {
+						if reject(err) {
+							done.Add(1)
+							continue
+						}
+						transport.Store(&err)
+						return
+					}
+					reduces.Add(1)
+					done.Add(1)
+					continue
+				}
 				if batch > 0 {
 					specs := make([]rc.AnonymizeSpec, batch)
 					for j := range specs {
@@ -316,6 +431,7 @@ func runStep(
 		done: done.Load(), failed: failed.Load(),
 		reads: reads.Load(), stale: stale.Load(),
 		denied: denied.Load(), throttled: throttled.Load(),
+		reduces: reduces.Load(),
 	}
 	if errp := transport.Load(); errp != nil {
 		return res, *errp

@@ -32,6 +32,9 @@ func runServe(argv []string) error {
 		shards  = fs.Int("shards", 0, "registration store shards (0 = default)")
 		workers = fs.Int("workers", 0, "per-connection worker pool size (0 = default)")
 
+		reduceCacheBytes = fs.Int64("reduce-cache-bytes", 0,
+			"read-path cache budget in bytes: memoized reductions + derived key sets (0 disables, -1 = unbounded)")
+
 		replicateFrom = fs.String("replicate-from", "",
 			"run as a replication follower of the leader at this address (requires -data-dir)")
 		advertise = fs.String("advertise", "",
@@ -98,6 +101,14 @@ func runServe(argv []string) error {
 	var opts []rc.ServerOption
 	if *workers > 0 {
 		opts = append(opts, rc.WithConnWorkers(*workers))
+	}
+	if *reduceCacheBytes != 0 {
+		opts = append(opts, rc.WithReduceCacheBytes(*reduceCacheBytes))
+		if *reduceCacheBytes > 0 {
+			fmt.Printf("reduce cache: %d byte budget\n", *reduceCacheBytes)
+		} else {
+			fmt.Printf("reduce cache: unbounded\n")
+		}
 	}
 	if *tenantsFile != "" {
 		reg, err := rc.LoadTenants(*tenantsFile)

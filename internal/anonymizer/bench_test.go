@@ -271,3 +271,70 @@ func BenchmarkReduceDerived(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReduceCached measures the read-path cache's hit path in
+// isolation: the same peeling reduce BenchmarkReduceDerived pays in full
+// is served from the memoized reduction — a store lookup, a policy
+// check, a cache hit and a pooled response shell, with zero heap
+// allocations. scripts/check-allocs.sh pins that against
+// testdata/alloc_baseline.json.
+func BenchmarkReduceCached(b *testing.B) {
+	g, err := mapgen.Grid(16, 16, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	density := func(roadnet.SegmentID) int { return 4 }
+	engine, err := cloak.NewEngine(g, density, cloak.Options{Algorithm: cloak.RGE})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(map[cloak.Algorithm]*cloak.Engine{cloak.RGE: engine},
+		WithReduceCacheBytes(-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := profile.Profile{Levels: []profile.Level{{K: 6, L: 3}, {K: 14, L: 6}}}
+	ks, err := keys.AutoGenerate(len(prof.Levels))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var region *cloak.CloakedRegion
+	for u := 0; u < g.NumSegments() && region == nil; u++ {
+		region, _, _ = engine.Anonymize(cloak.Request{
+			UserSegment: roadnet.SegmentID(u), Profile: prof, Keys: ks.All(),
+		})
+	}
+	if region == nil {
+		b.Fatal("no feasible cloak on the bench grid")
+	}
+	policy, err := accessctl.NewPolicy(len(prof.Levels), len(prof.Levels))
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := srv.store.Register(NewRegistration(region, ks, policy))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.store.SetTrust(id, "reader", 0); err != nil {
+		b.Fatal(err)
+	}
+	req := &Request{Op: OpReduce, RegionID: id, Requester: "reader", ToLevel: 0}
+	warm := srv.handleReduce(req) // populate the cache (the one real peel)
+	if !warm.OK {
+		b.Fatalf("warmup reduce failed: %s", warm.Error)
+	}
+	putResp(warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := srv.handleReduce(req)
+		if !resp.OK {
+			b.Fatal(resp.Error)
+		}
+		putResp(resp)
+	}
+	b.StopTimer()
+	if st, ok := srv.ReduceCacheStats(); !ok || st.RegionMisses != 1 {
+		b.Fatalf("hit path recomputed: %+v", st)
+	}
+}

@@ -687,6 +687,19 @@ func (s *DurableStore) shardFor(id string) *durableShard {
 	return s.shards[shardIndex(id, s.mask)]
 }
 
+// setCacheInvalidator implements cacheInvalidating: every shard's table
+// reports removed registrations to fn from the shared apply path, so
+// live mutations, follower frame ingest, the GC sweeper and snapshot
+// compaction's expiry sweep all invalidate the server's read-path cache
+// identically.
+func (s *DurableStore) setCacheInvalidator(fn func(id string)) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.tab.inval = fn
+		sh.mu.Unlock()
+	}
+}
+
 // appendLocked journals one record to the unified log under the shard's
 // lock, stamping it with the shard's next stream offset. It returns the
 // log's logical end offset after the append — the group-commit wait

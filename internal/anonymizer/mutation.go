@@ -130,6 +130,17 @@ func (t *replayTally) note(m *Mutation, applied bool) {
 // through apply below; the caller provides the locking.
 type regTable struct {
 	regs map[string]*Registration
+	// inval, when set, is called (under the shard lock) with the ID of
+	// every registration that apply or dropExpiredLocked removes or
+	// replaces — the single hook the server's read-path cache hangs its
+	// invalidation on. Because every mutation route (live writes, the
+	// durable journal-then-apply flow, WAL/snapshot replay, follower
+	// frame ingest, the GC sweepers) goes through this table, attaching
+	// here means they all invalidate identically; there is no second
+	// place to forget. Trust updates and lease renewals do NOT fire it:
+	// a registration's region and per-level keys are immutable after
+	// registration, so nothing a set_trust or touch changes is cached.
+	inval func(id string)
 }
 
 // newRegTable returns an empty table.
@@ -208,7 +219,12 @@ func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
 		// record may renew the lease, and the end-of-stream sweep reclaims
 		// whatever stays dead. A snapshot duplicate (crash between snapshot
 		// rename and WAL truncation) is simply overwritten with identical
-		// state, so the outcome is order-independent.
+		// state, so the outcome is order-independent. Cached reductions of
+		// a replaced entry are invalidated all the same: cheap, and
+		// correct even if a future replay source ships a differing body.
+		if _, existed := t.regs[m.ID]; existed && t.inval != nil {
+			t.inval(m.ID)
+		}
 		t.regs[m.ID] = m.Reg
 		return true, nil
 	case MutSetTrust:
@@ -245,6 +261,9 @@ func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
 			return false, nil // replay: already gone, skip
 		}
 		delete(t.regs, m.ID)
+		if t.inval != nil {
+			t.inval(m.ID)
+		}
 		return true, nil
 	case MutExpire:
 		reg, ok := t.regs[m.ID]
@@ -255,6 +274,9 @@ func (t regTable) apply(m *Mutation, mode applyMode, now int64) (bool, error) {
 			return false, nil // raced with nothing to do; expire is idempotent
 		}
 		delete(t.regs, m.ID)
+		if t.inval != nil {
+			t.inval(m.ID)
+		}
 		return true, nil
 	default:
 		return false, fmt.Errorf("%w: mutation %v", ErrBadOp, m.Op)
@@ -273,6 +295,9 @@ func (t regTable) dropExpiredLocked(now int64) int {
 	for id, reg := range t.regs {
 		if reg.expiredAt(now) {
 			delete(t.regs, id)
+			if t.inval != nil {
+				t.inval(id)
+			}
 			n++
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"github.com/reversecloak/reversecloak/internal/anonymizer/tenant"
 	"github.com/reversecloak/reversecloak/internal/cloak"
 	"github.com/reversecloak/reversecloak/internal/keys"
+	"github.com/reversecloak/reversecloak/internal/regcache"
 )
 
 // Errors returned by the server.
@@ -52,6 +53,7 @@ type serverConfig struct {
 	repl         Replicator
 	tenants      *tenant.Registry
 	keyring      *keys.Keyring
+	cacheBytes   int64
 }
 
 // WithStore installs an alternative registration backend. The default is
@@ -145,6 +147,21 @@ func WithMasterKeyring(kr *keys.Keyring) ServerOption {
 	return func(c *serverConfig) { c.keyring = kr }
 }
 
+// WithReduceCacheBytes turns on the server's read-path cache with the
+// given byte budget (n < 0 = unbounded; 0, the default, disables it).
+// The cache memoizes reduced regions by (region ID, level) and derived
+// key sets by (region ID, epoch, levels), serves hits zero-copy, and
+// collapses concurrent misses on the same reduction with a singleflight.
+// Reduce semantics are unchanged: reductions are deterministic functions
+// of immutable inputs, and entries are invalidated from the store's
+// shared mutation-apply path on deregister and expiry (trust changes
+// never touch the cached bytes). Requires a built-in store; against a
+// custom WithStore backend that cannot report removals the option is
+// ignored.
+func WithReduceCacheBytes(n int64) ServerOption {
+	return func(c *serverConfig) { c.cacheBytes = n }
+}
+
 // defaultServerConfig returns the config before options are applied.
 func defaultServerConfig() serverConfig {
 	workers := runtime.GOMAXPROCS(0)
@@ -177,6 +194,11 @@ type Server struct {
 	// Close; nil when the caller installed one via WithStore.
 	ownedStore Store
 	cfg        serverConfig
+
+	// cache is the read-path cache behind WithReduceCacheBytes; nil when
+	// disabled. Every cached read is gated by a store Lookup, so a cache
+	// entry can never resurrect a deregistered or expired registration.
+	cache *regcache.Cache
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -222,14 +244,33 @@ func NewServer(engines map[cloak.Algorithm]*cloak.Engine, opts ...ServerOption) 
 		cfg.store = NewShardedStore(cfg.shards)
 		owned = cfg.store
 	}
-	return &Server{
+	s := &Server{
 		engines:    engines,
 		store:      cfg.store,
 		ownedStore: owned,
 		cfg:        cfg,
 		conns:      make(map[net.Conn]struct{}),
 		metrics:    newServerMetrics(),
-	}, nil
+	}
+	if cfg.cacheBytes != 0 {
+		// Build the read-path cache only when the store can report
+		// removals into it; invalidation must flow from the one shared
+		// apply path or not at all.
+		if ci, ok := cfg.store.(cacheInvalidating); ok {
+			s.cache = regcache.New(regcache.Config{MaxBytes: cfg.cacheBytes})
+			ci.setCacheInvalidator(s.cache.Invalidate)
+		}
+	}
+	return s, nil
+}
+
+// ReduceCacheStats snapshots the read-path cache counters. ok is false
+// when the server runs without a cache.
+func (s *Server) ReduceCacheStats() (stats regcache.Stats, ok bool) {
+	if s.cache == nil {
+		return regcache.Stats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
@@ -676,9 +717,17 @@ func (s *Server) handleRequestKeys(req *Request) *Response {
 	if req.Requester == "" {
 		return fail(fmt.Errorf("%w: missing requester", ErrBadOp))
 	}
-	ks, err := reg.keys()
+	ks, inserted, err := s.regKeySet(reg)
 	if err != nil {
 		return fail(err)
+	}
+	if inserted {
+		// Same stranded-insert window as handleReduce: an invalidation
+		// racing the PutKeys above may have fired before the entry existed.
+		if _, err := s.store.Lookup(req.RegionID); err != nil {
+			s.cache.Invalidate(req.RegionID)
+			return fail(err)
+		}
 	}
 	grant, err := reg.policy.KeysFor(req.Requester, ks)
 	if err != nil {
@@ -723,6 +772,51 @@ func (s *Server) handleReduce(req *Request) *Response {
 		return fail(fmt.Errorf("%w: algorithm %v not enabled",
 			ErrBadOp, reg.region.Algorithm))
 	}
+	if s.cache != nil {
+		// Hit path first, with no closure in sight: a memoized reduction
+		// is immutable (Deanonymize builds fresh regions), so it is
+		// handed to the encoder zero-copy like the no-peel path above.
+		if cached, ok := s.cache.GetRegion(req.RegionID, target); ok {
+			return reduceResp(req.RegionID, cached, levels, target)
+		}
+		// Miss: collapse concurrent requests for the same (id, level)
+		// onto one peel, and start that peel from the nearest cached
+		// finer level instead of the published region when one exists —
+		// the reversal is deterministic per level, so peeling N-1..t
+		// through a cached level m yields byte-identical output to
+		// peeling from the top (pinned by the conformance tests).
+		reduced, err := s.cache.DoRegion(req.RegionID, target, func() (*cloak.CloakedRegion, error) {
+			base := reg.region
+			if r, lv, ok := s.cache.NearestRegion(req.RegionID, target+1); ok && lv < base.PrivacyLevel() {
+				base = r
+			}
+			// An inserted-but-stranded key set is covered by the reduce
+			// path's own post-insert liveness check: Invalidate drops every
+			// tier for the ID, key sets included.
+			ks, _, err := s.regKeySet(reg)
+			if err != nil {
+				return nil, err
+			}
+			grant, err := ks.Grant(target)
+			if err != nil {
+				return nil, err
+			}
+			return engine.Deanonymize(base, grant, target)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		// A deregister/expiry landing between the Lookup above and the
+		// insert inside DoRegion fires its invalidation before the entry
+		// exists and would leave it stranded. Re-checking liveness here
+		// closes the window: one of the two — this check or the mutation's
+		// invalidation — always runs after the insert.
+		if _, err := s.store.Lookup(req.RegionID); err != nil {
+			s.cache.Invalidate(req.RegionID)
+			return fail(err)
+		}
+		return reduceResp(req.RegionID, reduced, levels, target)
+	}
 	ks, err := reg.keys()
 	if err != nil {
 		return fail(err)
@@ -736,6 +830,32 @@ func (s *Server) handleReduce(req *Request) *Response {
 		return fail(err)
 	}
 	return reduceResp(req.RegionID, reduced, levels, target)
+}
+
+// regKeySet resolves a registration's per-level key set through the
+// read-path cache when one is installed: hot derived registrations skip
+// the HKDF re-expansion on every reduce/request_keys. Cached sets are
+// stamped with the keyring's content generation, so a key-file reload
+// (rotation) fences out everything derived before it. Stored-key
+// registrations already hold their material and bypass the cache.
+// inserted reports whether this call added a cache entry; callers serving
+// a response directly must then re-check the registration's liveness (see
+// handleRequestKeys) so an invalidation racing the insert can't strand it.
+func (s *Server) regKeySet(reg *Registration) (ks *keys.Set, inserted bool, err error) {
+	if s.cache == nil || !reg.derived() || reg.keyring == nil {
+		ks, err = reg.keys()
+		return ks, false, err
+	}
+	gen := reg.keyring.Generation()
+	if ks, ok := s.cache.GetKeys(reg.keyID, reg.keyEpoch, reg.keyLevels, gen); ok {
+		return ks, false, nil
+	}
+	ks, err = reg.keys()
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.PutKeys(reg.keyID, reg.keyEpoch, reg.keyLevels, gen, ks)
+	return ks, true, nil
 }
 
 // reduceResp builds a reduce response. The reached level lives in the

@@ -167,6 +167,31 @@ func (s *Server) writeMetrics(w io.Writer) {
 		}
 	}
 
+	// Read-path cache (WithReduceCacheBytes). Absent when disabled.
+	if c := s.cache; c != nil {
+		cs := c.Stats()
+		fmt.Fprintf(w, "# HELP anonymizer_reduce_cache_hits_total Reduce-cache hits by tier (region = memoized reductions, keys = derived key sets).\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_reduce_cache_hits_total counter\n")
+		fmt.Fprintf(w, "anonymizer_reduce_cache_hits_total{tier=\"region\"} %d\n", cs.RegionHits)
+		fmt.Fprintf(w, "anonymizer_reduce_cache_hits_total{tier=\"keys\"} %d\n", cs.KeyHits)
+		fmt.Fprintf(w, "# HELP anonymizer_reduce_cache_misses_total Reduce-cache misses by tier.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_reduce_cache_misses_total counter\n")
+		fmt.Fprintf(w, "anonymizer_reduce_cache_misses_total{tier=\"region\"} %d\n", cs.RegionMisses)
+		fmt.Fprintf(w, "anonymizer_reduce_cache_misses_total{tier=\"keys\"} %d\n", cs.KeyMisses)
+		fmt.Fprintf(w, "# HELP anonymizer_reduce_cache_evictions_total Entries evicted to stay inside the byte budget.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_reduce_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "anonymizer_reduce_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "# HELP anonymizer_reduce_cache_singleflight_waits_total Requests that piggybacked on another caller's in-flight peel.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_reduce_cache_singleflight_waits_total counter\n")
+		fmt.Fprintf(w, "anonymizer_reduce_cache_singleflight_waits_total %d\n", cs.SingleflightWaits)
+		fmt.Fprintf(w, "# HELP anonymizer_reduce_cache_bytes Current cached cost in bytes.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_reduce_cache_bytes gauge\n")
+		fmt.Fprintf(w, "anonymizer_reduce_cache_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(w, "# HELP anonymizer_reduce_cache_entries Current cached entries across both tiers.\n")
+		fmt.Fprintf(w, "# TYPE anonymizer_reduce_cache_entries gauge\n")
+		fmt.Fprintf(w, "anonymizer_reduce_cache_entries %d\n", cs.Entries)
+	}
+
 	// Durable-store internals: WAL fsyncs, group commit, snapshots,
 	// stream position. Absent on in-memory servers.
 	if ds, ok := s.store.(*DurableStore); ok {

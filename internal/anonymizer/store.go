@@ -222,6 +222,17 @@ type idAllocator interface {
 	AllocateID() string
 }
 
+// cacheInvalidating is the optional Store capability the server's
+// read-path cache needs: the store routes fn into every shard's
+// regTable, where the shared apply path calls it for each registration
+// it removes or replaces. Both built-in stores implement it; against a
+// store that does not, the server still serves correctly (Lookup gates
+// every cached read) but leaves the cache's memory reclamation to the
+// LRU alone, so it declines to build one.
+type cacheInvalidating interface {
+	setCacheInvalidator(fn func(id string))
+}
+
 // DefaultShards is the shard count of the default store: enough to keep
 // shard contention negligible at hundreds of concurrent connections while
 // staying cache-friendly.
@@ -355,6 +366,17 @@ func shardIndex(id string, mask uint32) uint32 {
 // shardFor maps a region ID to its shard.
 func (s *shardedStore) shardFor(id string) *storeShard {
 	return &s.shards[shardIndex(id, s.mask)]
+}
+
+// setCacheInvalidator implements cacheInvalidating: every shard's table
+// reports removed registrations to fn from the shared apply path.
+func (s *shardedStore) setCacheInvalidator(fn func(id string)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.tab.inval = fn
+		sh.mu.Unlock()
+	}
 }
 
 // mutate applies one lifecycle mutation under its shard's lock — the

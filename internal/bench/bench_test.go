@@ -104,7 +104,7 @@ func TestRunAllStreamsEverything(t *testing.T) {
 		t.Fatalf("RunAllJSON: %v", err)
 	}
 	out := buf.String()
-	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E21", "E22"}
+	ids := []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E21", "E22", "E23"}
 	for _, id := range ids {
 		if !strings.Contains(out, "["+id+" completed") {
 			t.Errorf("missing experiment %s in output", id)
@@ -127,22 +127,26 @@ func TestRunAllStreamsEverything(t *testing.T) {
 	}
 	// E16 swept four client counts, E17 compared four store configs, and
 	// E18 swept four writer counts.
-	for _, res := range set.Experiments[len(set.Experiments)-6 : len(set.Experiments)-3] {
+	for _, res := range set.Experiments[len(set.Experiments)-7 : len(set.Experiments)-4] {
 		if len(res.Rows) != 4 {
 			t.Errorf("%s has %d rows, want 4", res.ID, len(res.Rows))
 		}
 	}
 	// E19 swept three writer counts against the replicated pair.
-	if e19 := set.Experiments[len(set.Experiments)-3]; len(e19.Rows) != 3 {
+	if e19 := set.Experiments[len(set.Experiments)-4]; len(e19.Rows) != 3 {
 		t.Errorf("E19 has %d rows, want 3", len(e19.Rows))
 	}
 	// E21 crossed four writer counts with three shard counts.
-	if e21 := set.Experiments[len(set.Experiments)-2]; len(e21.Rows) != 12 {
+	if e21 := set.Experiments[len(set.Experiments)-3]; len(e21.Rows) != 12 {
 		t.Errorf("E21 has %d rows, want 12", len(e21.Rows))
 	}
 	// E22 compared the stored-key and derived-key record shapes.
-	if e22 := set.Experiments[len(set.Experiments)-1]; len(e22.Rows) != 2 {
+	if e22 := set.Experiments[len(set.Experiments)-2]; len(e22.Rows) != 2 {
 		t.Errorf("E22 has %d rows, want 2", len(e22.Rows))
+	}
+	// E23 crossed three cache budgets with two skews.
+	if e23 := set.Experiments[len(set.Experiments)-1]; len(e23.Rows) != 6 {
+		t.Errorf("E23 has %d rows, want 6", len(e23.Rows))
 	}
 }
 

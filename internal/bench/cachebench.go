@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reversecloak/reversecloak/internal/anonymizer"
+	"github.com/reversecloak/reversecloak/internal/cloak"
+	"github.com/reversecloak/reversecloak/internal/metrics"
+	"github.com/reversecloak/reversecloak/internal/profile"
+	"github.com/reversecloak/reversecloak/internal/regcache"
+)
+
+// e23Clients is the concurrency of every E23 cell: enough connections to
+// saturate the server's reduce path, so the cells differ only in how much
+// peel work the cache absorbs.
+const e23Clients = 64
+
+// E23ReduceCache measures what the read-path cache (WithReduceCacheBytes)
+// buys on the server-side reduce path: throughput and p99 latency at 64
+// concurrent clients, swept over cache budget {off, small, unbounded} and
+// region-choice skew {uniform, zipf}. Every request reduces one of a
+// pre-registered region pool down to level 0 (the full peel), so the
+// cache-off rows pay a crypto peel per request while the cache-on rows
+// pay one peel per distinct (region, level) and serve the rest zero-copy.
+// The zipf rows model real LBS read traffic — a hot subset of regions
+// absorbs most queries — which is where a small, evicting budget already
+// approaches the unbounded hit rate.
+func E23ReduceCache(env *Env) (*metrics.Table, error) {
+	ops := 200 * env.Opts.Trials
+	if ops < 4*e23Clients {
+		ops = 4 * e23Clients
+	}
+	const poolSize = 48
+	prof := uniformProfile(3, 6)
+
+	type cell struct {
+		name  string
+		bytes func(poolCost int64) int64 // WithReduceCacheBytes argument; 0 = off
+	}
+	cells := []cell{
+		{"off", func(int64) int64 { return 0 }},
+		{"small (pool/8)", func(poolCost int64) int64 { return poolCost / 8 }},
+		{"unbounded", func(int64) int64 { return -1 }},
+	}
+	skews := []struct {
+		name string
+		s    float64 // zipf exponent; 0 = uniform
+	}{
+		{"uniform", 0},
+		{"zipf(1.5)", 1.5},
+	}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("E23: reduce throughput vs cache size and skew (%d clients, %d regions, 3 levels, %d ops/cell)",
+			e23Clients, poolSize, ops),
+		"cache", "skew", "req/s", "p99 ms", "hit%", "vs off")
+	var poolCost int64
+	baseline := make(map[string]float64) // skew name -> cache-off req/s
+	for _, c := range cells {
+		for _, sk := range skews {
+			rate, p99, hitPct, cost, err := e23Cell(env, c.bytes(poolCost), sk.s, poolSize, prof, ops)
+			if err != nil {
+				return nil, fmt.Errorf("E23 cache=%s skew=%s: %w", c.name, sk.name, err)
+			}
+			if poolCost == 0 {
+				poolCost = cost
+			}
+			if c.name == "off" {
+				baseline[sk.name] = rate
+			}
+			speedup := 1.0
+			if b := baseline[sk.name]; b > 0 {
+				speedup = rate / b
+			}
+			tab.AddRow(
+				c.name, sk.name,
+				fmt.Sprintf("%.0f", rate),
+				fmt.Sprintf("%.2f", p99.Seconds()*1e3),
+				fmt.Sprintf("%.0f", hitPct),
+				fmt.Sprintf("%.2fx", speedup),
+			)
+		}
+	}
+	return tab, nil
+}
+
+// e23Cell runs one (cache budget, skew) cell: build a server, register
+// the region pool with reader trust at level 0, then hammer reduces from
+// e23Clients connections. It returns the achieved rate, the client-side
+// p99, the region-tier hit percentage and the pool's published cost (the
+// budget yardstick for the "small" cell).
+func e23Cell(
+	env *Env,
+	cacheBytes int64,
+	skew float64,
+	poolSize int,
+	prof profile.Profile,
+	ops int,
+) (rate float64, p99 time.Duration, hitPct float64, poolCost int64, err error) {
+	var opts []anonymizer.ServerOption
+	if cacheBytes != 0 {
+		opts = append(opts, anonymizer.WithReduceCacheBytes(cacheBytes))
+	}
+	srv, err := anonymizer.NewServer(map[cloak.Algorithm]*cloak.Engine{
+		cloak.RGE: env.RGE,
+	}, opts...)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer func() { _ = srv.Close() }()
+
+	setup, err := anonymizer.Dial(addr.String())
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer func() { _ = setup.Close() }()
+	pool := make([]string, 0, poolSize)
+	for _, user := range env.SampleUsers(poolSize*6, "e23") {
+		if len(pool) == poolSize {
+			break
+		}
+		id, region, err := setup.Anonymize(user, prof, "RGE")
+		if err != nil {
+			if isTransportErr(err) {
+				return 0, 0, 0, 0, err
+			}
+			continue // infeasible cloak for this user; try the next
+		}
+		if err := setup.SetTrust(id, "reader", 0); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		pool = append(pool, id)
+		poolCost += regcache.RegionCost(region)
+	}
+	if len(pool) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("no feasible cloaks for the reduce pool")
+	}
+
+	clients := make([]*anonymizer.Client, e23Clients)
+	for i := range clients {
+		c, err := anonymizer.Dial(addr.String())
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer func() { _ = c.Close() }()
+		clients[i] = c
+	}
+	var (
+		transport atomic.Pointer[error]
+		wg        sync.WaitGroup
+	)
+	lats := make([][]time.Duration, e23Clients)
+	start := time.Now()
+	for w := 0; w < e23Clients; w++ {
+		n := ops / e23Clients
+		if w < ops%e23Clients {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 99991))
+			var zipf *rand.Zipf
+			if skew > 1 && len(pool) > 1 {
+				zipf = rand.NewZipf(rng, skew, 1, uint64(len(pool)-1))
+			}
+			c := clients[w]
+			mine := make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				var id string
+				if zipf != nil {
+					id = pool[zipf.Uint64()]
+				} else {
+					id = pool[rng.Intn(len(pool))]
+				}
+				t0 := time.Now()
+				if _, _, err := c.Reduce(id, "reader", 0); err != nil {
+					transport.Store(&err)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			lats[w] = mine
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if errp := transport.Load(); errp != nil {
+		return 0, 0, 0, 0, *errp
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 = all[(len(all)*99)/100-1]
+	rate = float64(len(all)) / elapsed.Seconds()
+	if st, ok := srv.ReduceCacheStats(); ok {
+		if served := st.RegionHits + st.RegionMisses + st.SingleflightWaits; served > 0 {
+			hitPct = 100 * float64(st.RegionHits) / float64(served)
+		}
+	}
+	return rate, p99, hitPct, poolCost, nil
+}

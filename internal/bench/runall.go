@@ -41,6 +41,7 @@ func Experiments(fullScaleE10 bool) []Experiment {
 		{"E19", "replicated read throughput and lag", wrap(E19ReplicatedReads)},
 		{"E21", "store-wide group commit batching", wrap(E21GroupCommitBatching)},
 		{"E22", "stored vs derived key records", wrap(E22DerivedKeys)},
+		{"E23", "reduce cache throughput vs size and skew", wrap(E23ReduceCache)},
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -96,6 +97,13 @@ type Keyring struct {
 	mu     sync.RWMutex
 	active uint32
 	prks   map[uint32][]byte // epoch -> HKDF-extracted PRK
+
+	// gen counts content reloads. Consumers that memoize derived key
+	// sets (the server's read-path cache) stamp each cached set with the
+	// generation it was derived under and treat a mismatch as a miss, so
+	// cached material can never outlive a key-file edit that rotated or
+	// removed its epoch.
+	gen atomic.Uint64
 
 	// File-backed keyrings remember their source for Reload/Watch.
 	path    string
@@ -184,8 +192,14 @@ func (k *Keyring) loadFile() error {
 	k.prks = fresh.prks
 	k.modTime = fi.ModTime()
 	k.mu.Unlock()
+	k.gen.Add(1)
 	return nil
 }
+
+// Generation returns the keyring's content generation: it advances every
+// time the backing key file is (re)loaded. Keyrings built from in-memory
+// secrets stay at generation 0 — their content never changes.
+func (k *Keyring) Generation() uint64 { return k.gen.Load() }
 
 // Reload re-reads the backing key file if its mtime changed since the
 // last load, returning whether a reload happened. A keyring built with

@@ -50,6 +50,7 @@ import (
 	"github.com/reversecloak/reversecloak/internal/mapgen"
 	"github.com/reversecloak/reversecloak/internal/profile"
 	"github.com/reversecloak/reversecloak/internal/query"
+	"github.com/reversecloak/reversecloak/internal/regcache"
 	"github.com/reversecloak/reversecloak/internal/roadnet"
 	"github.com/reversecloak/reversecloak/internal/temporal"
 	"github.com/reversecloak/reversecloak/internal/trace"
@@ -147,6 +148,9 @@ type (
 	DurabilityOption = anonymizer.DurabilityOption
 	// FsyncPolicy selects when WAL appends are forced to disk.
 	FsyncPolicy = anonymizer.FsyncPolicy
+	// ReduceCacheStats snapshots the read-path cache counters
+	// (Server.ReduceCacheStats, /metrics anonymizer_reduce_cache_*).
+	ReduceCacheStats = regcache.Stats
 	// RecoveryStats describes what OpenDurableStore found on disk.
 	RecoveryStats = anonymizer.RecoveryStats
 	// ReshardStats describes what an offline Reshard migration moved.
@@ -397,6 +401,14 @@ func NewMasterKeys(active uint32, epochs map[uint32][]byte) (*Keyring, error) {
 // rotating the master secret is an epoch bump in the key file. The
 // keyring is caller-owned; the server does not close it.
 func WithMasterKeyring(kr *Keyring) ServerOption { return anonymizer.WithMasterKeyring(kr) }
+
+// WithReduceCacheBytes turns on the server's read-path cache with the
+// given byte budget (n < 0 = unbounded; 0 disables it): memoized
+// reductions by (region ID, level) plus derived key sets, served
+// zero-copy with singleflighted misses and invalidated from the store's
+// shared mutation-apply path on deregister/expiry. Reduce results are
+// bit-identical with the cache on or off.
+func WithReduceCacheBytes(n int64) ServerOption { return anonymizer.WithReduceCacheBytes(n) }
 
 // WithKeyring gives a durable store the master keyring its derived-key
 // registrations resolve through; required to open (recover, restore,

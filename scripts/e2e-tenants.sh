@@ -4,7 +4,8 @@
 #   serve (durable, -tenants, -admin-addr) -> unauthenticated operator
 #   ops bounce -> bad token bounces -> full-access tenant runs clean ->
 #   capability-capped tenant sees every write denied -> rate-limited
-#   tenant gets throttled -> operator tenant takes a hot backup -> the
+#   tenant gets throttled -> a zipfian repeated-reduce leg exercises
+#   the read-path cache -> operator tenant takes a hot backup -> the
 #   tenants file is edited live and the revoked tenant loses access
 #   within the reload interval -> /metrics, /healthz and /readyz agree
 #   with everything the scenario did.
@@ -67,7 +68,7 @@ EOF
 echo "== serve (durable store, tenants enforced, admin plane on $ADMIN)"
 "$WORK/anonymizer" serve -addr "$ADDR" -data-dir "$WORK/d" -ttl 0 \
     -tenants "$WORK/tenants.json" -tenants-reload 200ms \
-    -admin-addr "$ADMIN" \
+    -admin-addr "$ADMIN" -reduce-cache-bytes 8388608 \
     >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -122,6 +123,12 @@ grep -q "throttled=[1-9]" "$WORK/gamma.txt" || {
     echo "FAIL: the rate-limited tenant was not throttled"; exit 1; }
 grep -q "denied=0" "$WORK/gamma.txt" || {
     echo "FAIL: the rate-limited tenant was denied, not throttled"; exit 1; }
+
+echo "== alpha hammers repeated reduces: the read-path cache must serve hits"
+"$WORK/anonymizer" loadgen -addr "$ADDR" -codec "$CODEC" -tenant alpha -token alpha-secret \
+    -clients 2 -duration 1s -regions 24 -reduce-frac 0.9 -skew 1.5 | tee "$WORK/reduce.txt"
+grep -q "reduces: total=[1-9]" "$WORK/reduce.txt" || {
+    echo "FAIL: the reduce leg issued no reduces"; exit 1; }
 
 echo "== the operator tenant takes a hot backup"
 "$WORK/anonymizer" backup -addr "$ADDR" -codec "$CODEC" -tenant alpha -token alpha-secret \
@@ -184,6 +191,9 @@ require_pos 'anonymizer_wal_records_total'
 require_pos 'anonymizer_wal_fsyncs_total'
 require_pos 'anonymizer_op_duration_seconds_count{op="anonymize"}'
 require_pos 'anonymizer_op_errors_total{op="backup"}'
+# The repeated-reduce leg must have been served from the cache, not
+# recomputed per request.
+require_pos 'anonymizer_reduce_cache_hits_total{tier="region"}'
 if [ "$CODEC" = binary ]; then
     # The binary leg must actually have upgraded its connections.
     require_pos 'anonymizer_connections_codec_total{codec="binary"}'
